@@ -1,0 +1,43 @@
+"""Fig 13: under-committed systems — 1 to 64 single-threaded apps.
+
+Paper shape: CDCS maintains high weighted speedups across the whole range
+(28% gmean at 4 apps); Jigsaw+C works poorly on 1-8 app mixes (6% at
+4 apps) and Jigsaw+R sits in between (17% at 4 apps).
+"""
+
+from conftest import emit
+
+from repro.config import default_config
+from repro.experiments import format_table, run_sweep
+
+OCCUPANCIES = (1, 2, 4, 8, 16, 32, 64)
+N_MIXES = 15
+
+
+def run():
+    config = default_config()
+    out = {}
+    for n_apps in OCCUPANCIES:
+        out[n_apps] = run_sweep(config, n_apps=n_apps, n_mixes=N_MIXES, seed=42)
+    return out
+
+
+def test_fig13_undercommitted(once):
+    sweeps = once(run)
+    schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
+    rows = []
+    for n_apps, sweep in sweeps.items():
+        rows.append(
+            (f"{n_apps} apps", *(sweep.gmean_speedup(s) for s in schemes))
+        )
+    emit(format_table(
+        ["Mix size"] + schemes, rows,
+        title=f"Fig 13: gmean WS vs occupancy ({N_MIXES} mixes/point)",
+    ))
+    # CDCS leads everywhere; Jigsaw+C is weakest among partitioned schemes
+    # at low occupancy (paper Sec VI-A).
+    for n_apps, sweep in sweeps.items():
+        assert sweep.gmean_speedup("CDCS") >= sweep.gmean_speedup("Jigsaw+R") - 0.02
+    four = sweeps[4]
+    assert four.gmean_speedup("CDCS") > four.gmean_speedup("Jigsaw+C") + 0.03
+    assert four.gmean_speedup("Jigsaw+R") > four.gmean_speedup("Jigsaw+C")

@@ -1,0 +1,53 @@
+"""Fig 17: aggregate IPC through one reconfiguration, per movement scheme.
+
+Paper shape: bulk invalidations pause the whole chip (~100 Kcycles dip to
+near zero); demand moves + background invalidations track instant moves
+closely (smooth reconfiguration).
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    PROTOCOLS,
+    format_series,
+    run_reconfig_trace,
+)
+
+RECONFIG_AT = 300_000.0
+HORIZON = 900_000.0
+SCALE = 16
+
+
+def run():
+    return {
+        name: run_reconfig_trace(
+            name, reconfig_at=RECONFIG_AT, horizon=HORIZON,
+            capacity_scale=SCALE, seed=5,
+        )
+        for name in PROTOCOLS
+    }
+
+
+def test_fig17_reconfiguration_trace(once):
+    traces = once(run)
+    for name, trace in traces.items():
+        decim = trace.trace[:: max(len(trace.trace) // 18, 1)]
+        emit(format_series(
+            f"Fig17 {name} (cycle, aggregate IPC)",
+            [(t / 1e6, ipc) for t, ipc in decim], fmt="{:.2f}",
+        ))
+        emit(
+            f"Fig17 {name}: before={trace.ipc_before:.2f} "
+            f"during={trace.ipc_during:.2f} after={trace.ipc_after:.2f} "
+            f"demand_moves={trace.demand_moves} "
+            f"bg_inv={trace.background_invalidations} "
+            f"bulk_inv={trace.bulk_invalidations}"
+        )
+    bulk = traces["bulk-inv"]
+    background = traces["background-inv"]
+    instant = traces["instant"]
+    assert bulk.ipc_during < 0.75 * bulk.ipc_before  # the pause dip
+    assert background.ipc_during > 0.8 * background.ipc_before  # smooth
+    assert instant.ipc_during > 0.8 * instant.ipc_before
+    assert background.bulk_invalidations == 0
+    assert bulk.demand_moves == 0

@@ -1,0 +1,40 @@
+"""Fig 2: miss curves of the case-study apps (omnet, milc, ilbdc).
+
+Paper's series: omnet ~85 MPKI below 2.5 MB then ~flat near zero; milc
+flat (streaming); ilbdc small (512 KB footprint).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_series
+from repro.util.units import mb
+from repro.workloads import get_profile
+
+
+def fig2_series():
+    sizes = np.linspace(0, mb(4), 17)
+    out = {}
+    omnet = get_profile("omnet")
+    milc = get_profile("milc")
+    ilbdc = get_profile("ilbdc")
+    out["omnet"] = [(s / mb(1), float(omnet.private_curve(s))) for s in sizes]
+    out["milc"] = [(s / mb(1), float(milc.private_curve(s))) for s in sizes]
+    out["ilbdc"] = [
+        (s / mb(1), float(ilbdc.shared_curve(s) + ilbdc.private_curve(s)))
+        for s in sizes
+    ]
+    return out
+
+
+def test_fig2_miss_curves(once):
+    series = once(fig2_series)
+    for app, points in series.items():
+        emit(format_series(f"Fig2 {app} (MPKI vs MB)", points, fmt="{:.1f}"))
+    omnet = dict(series["omnet"])
+    assert omnet[0.0] > 80  # ~85 MPKI
+    assert omnet[3.0] < 5  # fits at 2.5 MB
+    milc_vals = [v for _, v in series["milc"]]
+    assert max(milc_vals) == min(milc_vals)  # streaming: flat
+    ilbdc = dict(series["ilbdc"])
+    assert ilbdc[1.0] < 0.3 * ilbdc[0.0]  # 512 KB footprint

@@ -1,0 +1,49 @@
+"""Fig 5: access latency vs capacity allocation for one VC.
+
+The off-chip component falls with capacity, the on-chip component rises,
+and the total has an interior "sweet spot" — the observation latency-aware
+allocation (Sec IV-C) is built on.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.config import default_config
+from repro.experiments import format_series
+from repro.nuca import build_problem
+from repro.sched import latency_curve, miss_only_curve
+from repro.workloads import get_profile, make_mix
+
+
+def fig5_series():
+    config = default_config()
+    problem = build_problem(make_mix(["omnet"]), config)
+    omnet = get_profile("omnet")
+    total = latency_curve(problem, omnet.private_curve, omnet.llc_apki)
+    offchip = miss_only_curve(problem, omnet.private_curve, omnet.llc_apki)
+    onchip = total - offchip
+    quanta = np.arange(len(total)) * problem.quantum / (1024 * 1024)
+    stride = 16
+    return {
+        "total": list(zip(quanta[::stride], total[::stride])),
+        "off-chip": list(zip(quanta[::stride], offchip[::stride])),
+        "on-chip": list(zip(quanta[::stride], onchip[::stride])),
+        "sweet_spot_mb": float(quanta[int(np.argmin(total))]),
+    }
+
+
+def test_fig5_latency_vs_capacity(once):
+    series = once(fig5_series)
+    for name in ("off-chip", "on-chip", "total"):
+        emit(format_series(f"Fig5 {name} (latency vs MB)", series[name],
+                           fmt="{:.0f}"))
+    emit(f"Fig5 sweet spot: {series['sweet_spot_mb']:.2f} MB")
+    off = [v for _, v in series["off-chip"]]
+    on = [v for _, v in series["on-chip"]]
+    total = [v for _, v in series["total"]]
+    assert off[0] > off[-1]  # off-chip falls
+    assert on[-1] > on[0]  # on-chip rises
+    best = min(range(len(total)), key=total.__getitem__)
+    assert 0 < best < len(total) - 1  # interior sweet spot
+    # omnet's sweet spot sits at its 2.5 MB working set.
+    assert 2.0 <= series["sweet_spot_mb"] <= 3.2

@@ -1,0 +1,29 @@
+"""Table 1 / Fig 1: the 36-tile case study (Sec II-B).
+
+Paper rows (per-app and weighted speedups over S-NUCA):
+
+    R-NUCA    1.09  0.99  1.15  | WS 1.08
+    Jigsaw+C  2.88  1.40  1.21  | WS 1.48
+    Jigsaw+R  3.99  1.20  1.21  | WS 1.47
+    CDCS      4.00  1.40  1.20  | WS 1.56
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, render_chip_map, run_case_study
+
+
+def test_table1_case_study(once):
+    result = once(run_case_study)
+    emit(
+        format_table(
+            ["Scheme", "omnet", "ilbdc", "milc", "WS"],
+            result.table1(),
+            title="Table 1: case-study speedups over S-NUCA (36 tiles)",
+        )
+    )
+    emit(render_chip_map(result, "CDCS"))
+    ws = result.weighted
+    assert ws["CDCS"] > ws["Jigsaw+C"]
+    assert ws["CDCS"] > ws["R-NUCA"]
+    assert result.app_speedups["CDCS"]["omnet"] > 3.0

@@ -1,0 +1,52 @@
+"""Table 3: CDCS reconfiguration runtime analysis.
+
+Paper rows (Mcycles per invocation):
+
+    threads/cores        16/16  16/64  64/64
+    capacity allocation   0.30   0.30   1.20
+    thread placement      0.29   0.80   3.44
+    data placement        0.13   0.36   1.85
+    total                 0.72   1.46   6.49
+    overhead @ 25 ms      0.09%  0.05%  0.20%
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, run_table3
+
+
+def test_table3_runtime(once):
+    rows = once(run_table3, seed=42, repeats=3)
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            (
+                f"{row.threads}/{row.cores}",
+                row.step_mcycles["allocation"],
+                row.step_mcycles["vc_placement"],
+                row.step_mcycles["thread_placement"],
+                row.step_mcycles["data_placement"],
+                row.total_mcycles,
+                f"{row.overhead_percent(25.0):.3f}%",
+            )
+        )
+    emit(format_table(
+        ["thr/cores", "alloc", "vc place", "thr place", "data place",
+         "total Mcyc", "ovh@25ms"],
+        table_rows,
+        title="Table 3: reconfiguration runtime per step",
+    ))
+    by_point = {(r.threads, r.cores): r for r in rows}
+    # Scaling shape: runtime grows with threads and tiles; the placement
+    # steps (quadratic) dominate at 64/64.
+    assert by_point[(64, 64)].total_mcycles > by_point[(16, 64)].total_mcycles
+    assert by_point[(16, 64)].total_mcycles > by_point[(16, 16)].total_mcycles
+    big = by_point[(64, 64)]
+    placement = (
+        big.step_mcycles["thread_placement"]
+        + big.step_mcycles["data_placement"]
+        + big.step_mcycles["vc_placement"]
+    )
+    assert placement > big.step_mcycles["allocation"]
+    # Overheads stay well under 1% at 25 ms (paper: 0.2% at 64/64).
+    assert big.overhead_percent(25.0) < 1.0

@@ -1,0 +1,53 @@
+"""Quickstart: evaluate the five NUCA schemes on one workload mix.
+
+Builds the paper's 36-tile case-study chip, runs S-NUCA / R-NUCA /
+Jigsaw+C / Jigsaw+R / CDCS on the omnet+milc+ilbdc mix, and prints
+per-app and weighted speedups (Table 1 of the paper).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticSystem,
+    case_study_config,
+    per_app_speedups,
+    standard_schemes,
+    weighted_speedup,
+)
+from repro.workloads import case_study_mix
+
+
+def main() -> None:
+    config = case_study_config()  # 6x6 tiles, 512 KB/bank (Sec II-B)
+    mix = case_study_mix()  # omnet x6, milc x14, ilbdc x2 (8 threads)
+    system = AnalyticSystem(config)
+
+    print(f"Chip: {config.tiles} tiles, {config.llc_bytes >> 20} MB LLC")
+    print(f"Mix:  {mix.total_threads} threads over "
+          f"{len(mix.processes)} processes\n")
+
+    alone = system.alone_performance(mix)
+    evaluations = {
+        scheme.name: system.evaluate(mix, scheme)
+        for scheme in standard_schemes(seed=1)
+    }
+    baseline = evaluations["S-NUCA"]
+
+    header = f"{'Scheme':10s} {'omnet':>7s} {'ilbdc':>7s} {'milc':>7s} {'WS':>6s}"
+    print(header)
+    print("-" * len(header))
+    for name, evaluation in evaluations.items():
+        if name == "S-NUCA":
+            continue
+        apps = per_app_speedups(evaluation, baseline)
+        ws = weighted_speedup(evaluation, baseline, alone)
+        print(
+            f"{name:10s} {apps['omnet']:7.2f} {apps['ilbdc']:7.2f} "
+            f"{apps['milc']:7.2f} {ws:6.2f}"
+        )
+    print("\n(paper Table 1: R-NUCA 1.08, Jigsaw+C 1.48, "
+          "Jigsaw+R 1.47, CDCS 1.56)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Watch one reconfiguration happen, per movement protocol (Fig 17).
+
+Runs the trace-driven simulator through a live reconfiguration under the
+three data-movement schemes and prints an ASCII IPC-over-time plot: bulk
+invalidations pause the chip (the deep notch), CDCS's demand moves +
+background invalidations sail through.
+
+Run:  python examples/reconfiguration_trace.py
+"""
+
+from repro.experiments import PROTOCOLS, run_reconfig_trace
+
+RECONFIG_AT = 300_000.0
+HORIZON = 900_000.0
+
+
+def ascii_plot(trace, width=72, height=10):
+    points = trace[: width]
+    top = max(ipc for _, ipc in points) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        row = "".join(
+            "#" if ipc >= threshold else " " for _, ipc in points
+        )
+        rows.append(f"{threshold:5.1f} |{row}")
+    axis = "      +" + "-" * len(points)
+    return "\n".join(rows + [axis])
+
+
+def main() -> None:
+    for name in PROTOCOLS:
+        result = run_reconfig_trace(
+            name, reconfig_at=RECONFIG_AT, horizon=HORIZON,
+            capacity_scale=16, seed=5,
+        )
+        print(f"=== {name} ===")
+        print(ascii_plot(result.trace))
+        print(
+            f"aggregate IPC: before={result.ipc_before:.2f}, "
+            f"during reconfig={result.ipc_during:.2f}, "
+            f"after={result.ipc_after:.2f}"
+        )
+        print(
+            f"demand moves={result.demand_moves}, background "
+            f"invalidations={result.background_invalidations}, bulk "
+            f"invalidations={result.bulk_invalidations}\n"
+        )
+    print("Paper Fig 17: bulk invalidations pause the chip ~100 Kcycles; "
+          "background invalidations track instant moves closely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Under-committed systems: why latency-aware allocation matters (Fig 13).
+
+Sweeps the number of single-threaded apps on the 64-core chip from 2 to 64
+and reports each scheme's gmean weighted speedup.  At low occupancy the
+LLC is plentiful: Jigsaw's miss-driven allocator hands every app a huge,
+far-flung VC and loses to CDCS, whose latency-aware allocation leaves
+capacity unused on purpose (Sec IV-C / Fig 12b).
+
+Run:  python examples/undercommitted_sweep.py  [--mixes N]
+"""
+
+import argparse
+
+from repro.config import default_config
+from repro.experiments import run_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mixes", type=int, default=8,
+                        help="random mixes per occupancy point")
+    args = parser.parse_args()
+
+    config = default_config()
+    schemes = ("R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
+    print(f"{'apps':>5s}  " + "  ".join(f"{s:>9s}" for s in schemes))
+    for n_apps in (2, 4, 8, 16, 32, 64):
+        sweep = run_sweep(config, n_apps=n_apps, n_mixes=args.mixes, seed=42)
+        row = "  ".join(
+            f"{sweep.gmean_speedup(s):9.3f}" for s in schemes
+        )
+        print(f"{n_apps:5d}  {row}")
+    print("\nPaper Fig 13 shape: CDCS stays high across the range; "
+          "Jigsaw+C is weakest at 1-8 apps (6% at 4 apps vs CDCS's 28%).")
+
+
+if __name__ == "__main__":
+    main()

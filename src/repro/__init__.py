@@ -1,0 +1,55 @@
+"""repro: a reproduction of CDCS — computation and data co-scheduling for
+distributed cache hierarchies (Beckmann, Tsai, Sanchez; HPCA 2015).
+
+Public API tour:
+
+* :mod:`repro.config` — the Table 2 chip descriptions.
+* :mod:`repro.workloads` — app profiles (miss curves), mixes, streams.
+* :mod:`repro.nuca` — S-NUCA / R-NUCA / Jigsaw / CDCS schemes.
+* :mod:`repro.sched` — CDCS's allocation + placement algorithms.
+* :mod:`repro.model` — the analytic evaluation engine and metrics.
+* :mod:`repro.sim` — the trace-driven simulator with demand moves.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import AnalyticSystem, case_study_config, standard_schemes
+    from repro.workloads import case_study_mix
+
+    system = AnalyticSystem(case_study_config())
+    mix = case_study_mix()
+    for scheme in standard_schemes():
+        evaluation = system.evaluate(mix, scheme)
+        ...
+"""
+
+from repro.config import (
+    SystemConfig,
+    case_study_config,
+    default_config,
+    small_test_config,
+)
+from repro.model.metrics import gmean, per_app_speedups, weighted_speedup
+from repro.model.system import AnalyticSystem, MixEvaluation
+from repro.nuca import Cdcs, Jigsaw, RNuca, SNuca, build_problem, standard_schemes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticSystem",
+    "Cdcs",
+    "Jigsaw",
+    "MixEvaluation",
+    "RNuca",
+    "SNuca",
+    "SystemConfig",
+    "build_problem",
+    "case_study_config",
+    "default_config",
+    "gmean",
+    "per_app_speedups",
+    "small_test_config",
+    "standard_schemes",
+    "weighted_speedup",
+    "__version__",
+]

@@ -1,0 +1,137 @@
+"""Command-line entry point: regenerate paper experiments from the shell.
+
+Usage::
+
+    python -m repro table1              # the 36-tile case study
+    python -m repro fig13 --mixes 8     # occupancy sweep
+    python -m repro table3              # reconfiguration runtime
+    python -m repro fig17               # reconfiguration IPC traces
+    python -m repro list                # all available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import default_config
+from repro.experiments import (
+    PROTOCOLS,
+    format_series,
+    format_table,
+    run_case_study,
+    run_factor_analysis,
+    run_monitor_comparison,
+    run_reconfig_trace,
+    run_sweep,
+    run_table3,
+)
+from repro.util.units import mb
+from repro.workloads import get_profile
+
+SCHEMES = ("R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
+
+
+def cmd_table1(args) -> None:
+    result = run_case_study()
+    print(format_table(
+        ["Scheme", "omnet", "ilbdc", "milc", "WS"], result.table1(),
+        title="Table 1: case-study speedups over S-NUCA",
+    ))
+
+
+def cmd_sweep(args, n_apps: int, multithreaded: bool = False) -> None:
+    sweep = run_sweep(
+        default_config(), n_apps=n_apps, n_mixes=args.mixes, seed=args.seed,
+        multithreaded=multithreaded,
+    )
+    rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in SCHEMES]
+    kind = "8-thread" if multithreaded else "single-threaded"
+    print(format_table(
+        ["Scheme", "gmean WS", "max WS"], rows,
+        title=f"{args.mixes} mixes of {n_apps} {kind} apps",
+    ))
+
+
+def cmd_fig12(args) -> None:
+    for n_apps in (64, 4):
+        result = run_factor_analysis(
+            default_config(), n_apps=n_apps, n_mixes=args.mixes, seed=args.seed
+        )
+        print(format_table(
+            ["Variant", "gmean WS"], list(result.gmeans().items()),
+            title=f"Fig 12 factor analysis at {n_apps} apps",
+        ))
+
+
+def cmd_fig13(args) -> None:
+    rows = []
+    for n_apps in (1, 2, 4, 8, 16, 32, 64):
+        sweep = run_sweep(default_config(), n_apps=n_apps,
+                          n_mixes=args.mixes, seed=args.seed)
+        rows.append((f"{n_apps}", *(sweep.gmean_speedup(s) for s in SCHEMES)))
+    print(format_table(["apps"] + list(SCHEMES), rows,
+                       title="Fig 13: gmean WS vs occupancy"))
+
+
+def cmd_fig17(args) -> None:
+    for name in PROTOCOLS:
+        trace = run_reconfig_trace(name, capacity_scale=16, seed=args.seed)
+        print(format_series(
+            f"{name} (Mcycle, IPC)",
+            [(t / 1e6, v) for t, v in
+             trace.trace[:: max(len(trace.trace) // 15, 1)]],
+            fmt="{:.2f}",
+        ))
+
+
+def cmd_table3(args) -> None:
+    rows = run_table3(seed=args.seed, repeats=3)
+    print(format_table(
+        ["thr/cores", "total Mcycles", "overhead@25ms"],
+        [(f"{r.threads}/{r.cores}", r.total_mcycles,
+          f"{r.overhead_percent():.3f}%") for r in rows],
+        title="Table 3: reconfiguration runtime",
+    ))
+
+
+def cmd_gmon(args) -> None:
+    for acc in run_monitor_comparison(get_profile("astar"), mb(32)):
+        print(f"{acc.monitor_kind}-{acc.ways}: "
+              f"MAE={acc.mean_abs_error:.3f} "
+              f"small-size MAE={acc.small_size_error:.3f}")
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "fig11": lambda a: cmd_sweep(a, 64),
+    "fig12": cmd_fig12,
+    "fig13": cmd_fig13,
+    "fig14": lambda a: cmd_sweep(a, 4),
+    "fig15": lambda a: cmd_sweep(a, 8, multithreaded=True),
+    "fig16": lambda a: cmd_sweep(a, 4, multithreaded=True),
+    "fig17": cmd_fig17,
+    "table3": cmd_table3,
+    "gmon": cmd_gmon,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from the CDCS reproduction.",
+    )
+    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list"])
+    parser.add_argument("--mixes", type=int, default=10,
+                        help="random mixes per data point (default 10)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:", ", ".join(sorted(COMMANDS)))
+        return 0
+    COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Cache substrate: miss curves, partitioned banks (Vantage-contract LRU),
+and miss-curve monitors (UMON / geometric GMON)."""
+
+from repro.cache.bank import BankStats, PartitionedBank
+from repro.cache.miss_curve import (
+    MissCurve,
+    cliff_curve,
+    exponential_curve,
+    flat_curve,
+)
+from repro.cache.monitor import GMon, UMon, required_umon_ways, solve_gamma
+
+__all__ = [
+    "BankStats",
+    "GMon",
+    "MissCurve",
+    "PartitionedBank",
+    "UMon",
+    "cliff_curve",
+    "exponential_curve",
+    "flat_curve",
+    "required_umon_ways",
+    "solve_gamma",
+]

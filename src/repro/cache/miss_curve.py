@@ -1,0 +1,208 @@
+"""Miss curves: misses-per-kilo-instruction as a function of cache capacity.
+
+Miss curves are the currency of every allocation decision in the paper
+(Fig 2, Sec IV-C).  A :class:`MissCurve` is a piecewise-linear function
+sampled at increasing capacities; it supports interpolation, scaling,
+convex minorants (what Lookahead/Peekahead allocate over), and combination
+of curves (for modeling unpartitioned sharing).
+
+Capacities are in **bytes**; values are in **misses per kilo-instruction**
+(or any other per-unit rate — monitors produce miss *counts* per interval,
+which behave identically).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class MissCurve:
+    """Piecewise-linear, non-negative function of capacity.
+
+    Points must have strictly increasing sizes.  Evaluation clamps outside
+    the sampled range (constant extrapolation), matching how monitors with
+    finite coverage are used.
+    """
+
+    def __init__(self, sizes: Sequence[float], values: Sequence[float]):
+        sizes_arr = np.asarray(sizes, dtype=np.float64)
+        values_arr = np.asarray(values, dtype=np.float64)
+        if sizes_arr.ndim != 1 or sizes_arr.shape != values_arr.shape:
+            raise ValueError("sizes and values must be 1-D and equal length")
+        if len(sizes_arr) == 0:
+            raise ValueError("miss curve needs at least one point")
+        if np.any(np.diff(sizes_arr) <= 0):
+            raise ValueError("sizes must be strictly increasing")
+        if np.any(values_arr < 0):
+            raise ValueError("miss rates cannot be negative")
+        if sizes_arr[0] < 0:
+            raise ValueError("sizes cannot be negative")
+        self.sizes = sizes_arr
+        self.values = values_arr
+
+    # -- evaluation ---------------------------------------------------------
+
+    def __call__(self, size: float | np.ndarray) -> float | np.ndarray:
+        """Miss rate at *size* (linear interpolation, clamped ends)."""
+        result = np.interp(size, self.sizes, self.values)
+        if np.isscalar(size):
+            return float(result)
+        return result
+
+    @property
+    def max_size(self) -> float:
+        return float(self.sizes[-1])
+
+    @property
+    def min_value(self) -> float:
+        return float(self.values.min())
+
+    def misses_at(self, size: float) -> float:
+        """Alias for ``self(size)`` that reads better at call sites."""
+        return float(self(size))
+
+    # -- transforms ---------------------------------------------------------
+
+    def scaled(self, factor: float) -> "MissCurve":
+        """Scale the miss rate (e.g. convert MPKI to misses/cycle)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return MissCurve(self.sizes, self.values * factor)
+
+    def scaled_sizes(self, factor: float) -> "MissCurve":
+        """Scale the capacity axis (used to shrink workloads for scaled-down
+        trace simulations: a cache at 1/k capacity with a curve at 1/k sizes
+        behaves identically)."""
+        if factor <= 0:
+            raise ValueError("size scale factor must be positive")
+        return MissCurve(self.sizes * factor, self.values)
+
+    def effective_footprint(self, tolerance: float = 0.05) -> float:
+        """Smallest size at which the curve is within *tolerance* of its
+        floor (relative to its total drop) — the app's working set."""
+        floor = self.values.min()
+        drop = self.values[0] - floor
+        if drop <= 0:
+            return float(self.sizes[0])
+        threshold = floor + tolerance * drop
+        for size, value in zip(self.sizes, self.values):
+            if value <= threshold:
+                return float(size)
+        return float(self.sizes[-1])
+
+    def resampled(self, sizes: Sequence[float]) -> "MissCurve":
+        """Resample onto a new (strictly increasing) size grid."""
+        sizes_arr = np.asarray(sizes, dtype=np.float64)
+        return MissCurve(sizes_arr, np.asarray(self(sizes_arr)))
+
+    def monotone_decreasing(self) -> "MissCurve":
+        """Running minimum of the curve.
+
+        Real workloads' miss curves are non-increasing, but *monitored*
+        curves are noisy; allocation assumes more capacity never hurts
+        misses, so monitored curves are cleaned up with this first.
+        """
+        return MissCurve(self.sizes, np.minimum.accumulate(self.values))
+
+    def convex_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vertices of the lower convex hull (the convex minorant).
+
+        Lookahead-style allocation walks the hull: hull segments give the
+        best achievable marginal miss reduction per byte at each size, which
+        is what Peekahead exploits to run in linear time [Jigsaw, Talus].
+        """
+        xs, ys = self.sizes, self.values
+        hull_x: list[float] = [float(xs[0])]
+        hull_y: list[float] = [float(ys[0])]
+        for x, y in zip(xs[1:], ys[1:]):
+            hull_x.append(float(x))
+            hull_y.append(float(y))
+            # Pop middle points that lie above the chord (cross-product test).
+            while len(hull_x) >= 3:
+                x0, y0 = hull_x[-3], hull_y[-3]
+                x1, y1 = hull_x[-2], hull_y[-2]
+                x2, y2 = hull_x[-1], hull_y[-1]
+                if (y1 - y0) * (x2 - x1) <= (y2 - y1) * (x1 - x0) + 1e-12:
+                    break
+                del hull_x[-2]
+                del hull_y[-2]
+        return np.asarray(hull_x), np.asarray(hull_y)
+
+    def convex_hull(self) -> "MissCurve":
+        """The convex minorant as a new curve."""
+        xs, ys = self.convex_points()
+        return MissCurve(xs, ys)
+
+    # -- combination --------------------------------------------------------
+
+    def __add__(self, other: "MissCurve") -> "MissCurve":
+        """Pointwise sum on the union grid (total misses if both streams had
+        the same capacity — used to aggregate threads sharing a VC)."""
+        grid = np.union1d(self.sizes, other.sizes)
+        return MissCurve(grid, np.asarray(self(grid)) + np.asarray(other(grid)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MissCurve):
+            return NotImplemented
+        return (
+            self.sizes.shape == other.sizes.shape
+            and bool(np.allclose(self.sizes, other.sizes))
+            and bool(np.allclose(self.values, other.values))
+        )
+
+    def __hash__(self) -> int:  # curves are mutable-free; hash by identity
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"MissCurve({len(self.sizes)} pts, "
+            f"[{self.sizes[0]:.0f}..{self.sizes[-1]:.0f}] B, "
+            f"{self.values[0]:.2f}->{self.values[-1]:.2f})"
+        )
+
+
+def flat_curve(max_size: float, value: float) -> MissCurve:
+    """A capacity-insensitive (streaming) curve, e.g. milc in Fig 2."""
+    return MissCurve([0.0, max_size], [value, value])
+
+
+def cliff_curve(
+    max_size: float,
+    base_mpki: float,
+    cliff_size: float,
+    after_mpki: float,
+    cliff_sharpness: float = 0.05,
+) -> MissCurve:
+    """A working-set "cliff" curve, e.g. omnet in Fig 2: high misses until
+    the footprint fits, then a sharp drop to *after_mpki*.
+
+    *cliff_sharpness* is the fraction of *cliff_size* over which the drop
+    happens (real cliffs are steep but not vertical).
+    """
+    if not 0 < cliff_size <= max_size:
+        raise ValueError("cliff must lie inside (0, max_size]")
+    drop_start = cliff_size * (1.0 - cliff_sharpness)
+    sizes = [0.0, drop_start, cliff_size]
+    values = [base_mpki, base_mpki, after_mpki]
+    if cliff_size < max_size:
+        sizes.append(max_size)
+        values.append(after_mpki)
+    return MissCurve(sizes, values)
+
+
+def exponential_curve(
+    max_size: float,
+    base_mpki: float,
+    floor_mpki: float,
+    half_size: float,
+    points: int = 65,
+) -> MissCurve:
+    """A smoothly-decaying curve (friendly apps): misses halve every
+    *half_size* bytes of capacity, floored at *floor_mpki*."""
+    if half_size <= 0:
+        raise ValueError("half_size must be positive")
+    sizes = np.linspace(0.0, max_size, points)
+    values = floor_mpki + (base_mpki - floor_mpki) * np.power(0.5, sizes / half_size)
+    return MissCurve(sizes, values)

@@ -1,0 +1,6 @@
+"""Core models: analytic CPI model and the blocking trace core."""
+
+from repro.cores.ooo_core import CoreModel
+from repro.cores.trace_core import TraceCore, TraceCoreStats
+
+__all__ = ["CoreModel", "TraceCore", "TraceCoreStats"]

@@ -1,0 +1,62 @@
+"""Analytic core model: lean 2-way OOO (Silvermont-like, Table 2).
+
+The analytic engine computes each thread's CPI as
+
+    CPI = base_CPI + (APKI / 1000) x exposed_latency
+
+where the exposed latency of an LLC access separates its two components:
+
+* **on-chip** latency (network + bank, tens of cycles) divided by
+  ``mlp_onchip`` — a lean 2-way OOO core with a 32-entry ROB hides nearly
+  none of it, so the default is 1.0 (fully exposed);
+* **off-chip** latency (miss ratio x DRAM, hundreds of cycles) divided by
+  ``mlp_offchip`` — independent misses overlap through the load queue.
+
+This split is what lets placement-induced hop differences show up in IPC
+at the paper's magnitude (Fig 11a vs Fig 11b) while DRAM-bound apps remain
+bandwidth- rather than pure-latency-limited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Converts memory latencies into per-thread performance."""
+
+    config: CoreConfig
+
+    def exposed_latency(self, onchip: float, offchip: float) -> float:
+        """Stall cycles one LLC access contributes to the pipeline."""
+        if onchip < 0 or offchip < 0:
+            raise ValueError("latencies cannot be negative")
+        return (
+            onchip / self.config.mlp_onchip
+            + offchip / self.config.mlp_offchip
+        )
+
+    def cpi(self, base_cpi: float, apki: float, onchip: float, offchip: float) -> float:
+        """CPI given per-access on-chip and off-chip latency (cycles)."""
+        if base_cpi <= 0:
+            raise ValueError("base CPI must be positive")
+        if apki < 0:
+            raise ValueError("APKI cannot be negative")
+        return base_cpi + (apki / 1000.0) * self.exposed_latency(onchip, offchip)
+
+    def ipc(self, base_cpi: float, apki: float, onchip: float, offchip: float) -> float:
+        return 1.0 / self.cpi(base_cpi, apki, onchip, offchip)
+
+    def instructions_in(
+        self,
+        cycles: float,
+        base_cpi: float,
+        apki: float,
+        onchip: float,
+        offchip: float,
+    ) -> float:
+        """Instructions retired in *cycles* (FIESTA reference runs)."""
+        return cycles * self.ipc(base_cpi, apki, onchip, offchip)

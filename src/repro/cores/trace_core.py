@@ -1,0 +1,81 @@
+"""Blocking trace core for the trace-driven simulator.
+
+Models one hardware thread as: retire instructions at ``base_cpi`` until
+the next LLC access is due (spacing drawn from the APKI), then block for
+that access's latency (divided by the core's MLP factor to credit overlap).
+Coarse, but it produces the aggregate-IPC dynamics Fig 17 needs: when a
+reconfiguration stalls LLC accesses, cores stall proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CoreConfig
+from repro.workloads.generator import StackDistanceStream
+
+
+@dataclass
+class TraceCoreStats:
+    instructions: int = 0
+    llc_accesses: int = 0
+    stall_cycles: float = 0.0
+
+
+class TraceCore:
+    """One thread's execution state in the trace simulator."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        base_cpi: float,
+        apki: float,
+        stream_of: "dict[str, StackDistanceStream]",
+        stream_picker,
+        core_config: CoreConfig | None = None,
+    ):
+        """*stream_of* maps VC-class name ('private'/'shared') to address
+        streams; *stream_picker* is a callable(rng-free) returning which
+        class the next access targets (deterministic round-robin mixing by
+        access fractions keeps the core model reproducible)."""
+        self.thread_id = thread_id
+        self.base_cpi = base_cpi
+        self.apki = max(apki, 1e-9)
+        self.streams = stream_of
+        self.stream_picker = stream_picker
+        self.config = core_config or CoreConfig()
+        self.time = 0.0
+        self.stats = TraceCoreStats()
+
+    @property
+    def instructions_per_access(self) -> float:
+        return 1000.0 / self.apki
+
+    def next_access(self) -> tuple[float, str, int]:
+        """Advance to the next LLC access.
+
+        Returns (issue_time, vc_class, line_addr).  The core retires
+        ``instructions_per_access`` instructions at base CPI before issuing.
+        """
+        compute_cycles = self.instructions_per_access * self.base_cpi
+        self.time += compute_cycles
+        self.stats.instructions += int(self.instructions_per_access)
+        vc_class = self.stream_picker()
+        addr = self.streams[vc_class].next_address()
+        self.stats.llc_accesses += 1
+        return self.time, vc_class, addr
+
+    def complete_access(self, onchip_latency: float, offchip_latency: float = 0.0) -> None:
+        """Block the thread for the access's exposed latency (on-chip fully
+        exposed; off-chip discounted by the core's miss overlap)."""
+        exposed = (
+            onchip_latency / self.config.mlp_onchip
+            + offchip_latency / self.config.mlp_offchip
+        )
+        self.time += exposed
+        self.stats.stall_cycles += exposed
+
+    def ipc_so_far(self) -> float:
+        if self.time <= 0:
+            return 0.0
+        return self.stats.instructions / self.time

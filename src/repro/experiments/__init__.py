@@ -1,0 +1,67 @@
+"""Per-experiment harnesses: one module per paper table/figure (see the
+DESIGN.md experiment index)."""
+
+from repro.experiments.case_study import (
+    CaseStudyResult,
+    render_chip_map,
+    run_case_study,
+)
+from repro.experiments.factor_analysis import (
+    VARIANTS,
+    FactorResult,
+    run_factor_analysis,
+)
+from repro.experiments.monitors_study import (
+    MonitorAccuracy,
+    curve_error,
+    monitored_curve,
+    run_monitor_comparison,
+)
+from repro.experiments.placers_study import PlacerOutcome, run_placer_comparison
+from repro.experiments.reconfig_study import (
+    PROTOCOLS,
+    PeriodSweepResult,
+    ReconfigTrace,
+    default_trace_mix,
+    reconfiguration_penalty_cycles,
+    run_period_sweep,
+    run_reconfig_trace,
+)
+from repro.experiments.report import format_breakdown, format_series, format_table
+from repro.experiments.sweeps import SweepResult, evaluate_mix, run_sweep
+from repro.experiments.table3 import (
+    OPERATING_POINTS,
+    RuntimeRow,
+    run_table3,
+)
+
+__all__ = [
+    "CaseStudyResult",
+    "FactorResult",
+    "MonitorAccuracy",
+    "OPERATING_POINTS",
+    "PROTOCOLS",
+    "PeriodSweepResult",
+    "PlacerOutcome",
+    "ReconfigTrace",
+    "RuntimeRow",
+    "SweepResult",
+    "VARIANTS",
+    "curve_error",
+    "default_trace_mix",
+    "evaluate_mix",
+    "format_breakdown",
+    "format_series",
+    "format_table",
+    "monitored_curve",
+    "reconfiguration_penalty_cycles",
+    "render_chip_map",
+    "run_case_study",
+    "run_factor_analysis",
+    "run_monitor_comparison",
+    "run_period_sweep",
+    "run_placer_comparison",
+    "run_reconfig_trace",
+    "run_sweep",
+    "run_table3",
+]

@@ -1,0 +1,65 @@
+"""Factor analysis of CDCS's techniques (Fig 12).
+
+Starting from Jigsaw+R, enable latency-aware allocation (+L), thread
+placement (+T), and trade-refined data placement (+D) individually and
+together (+LTD = CDCS); run at 64 apps (capacity-scarce: T and D dominate)
+and 4 apps (capacity-plentiful: L dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.experiments.sweeps import SweepResult, evaluate_mix
+from repro.model.system import AnalyticSystem
+from repro.nuca.cdcs import factor_variant
+from repro.workloads.mixes import random_single_threaded_mix
+
+VARIANTS: list[tuple[str, tuple[bool, bool, bool]]] = [
+    ("Jigsaw+R", (False, False, False)),
+    ("+L", (True, False, False)),
+    ("+T", (False, True, False)),
+    ("+D", (False, False, True)),
+    ("+LTD", (True, True, True)),
+]
+
+
+@dataclass
+class FactorResult:
+    n_apps: int
+    sweep: SweepResult
+
+    def gmeans(self) -> dict[str, float]:
+        out = {}
+        for label, _ in VARIANTS:
+            name = _variant_name(label)
+            out[label] = self.sweep.gmean_speedup(name)
+        return out
+
+
+def _variant_name(label: str) -> str:
+    if label == "Jigsaw+R":
+        return "Jigsaw+Rbase"
+    return f"Jigsaw+R{label}"
+
+
+def run_factor_analysis(
+    config: SystemConfig,
+    n_apps: int,
+    n_mixes: int = 50,
+    seed: int = 42,
+    system: AnalyticSystem | None = None,
+) -> FactorResult:
+    system = system or AnalyticSystem(config)
+    result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
+    for mix_id in range(n_mixes):
+        mix = random_single_threaded_mix(n_apps, seed, mix_id)
+        schemes = []
+        for label, (lat, thr, dat) in VARIANTS:
+            scheme = factor_variant(lat, thr, dat, seed=mix_id)
+            scheme.name = _variant_name(label)
+            schemes.append(scheme)
+        evaluate_mix(config, mix, result, seed=mix_id, schemes=schemes,
+                     system=system)
+    return FactorResult(n_apps=n_apps, sweep=result)

@@ -1,0 +1,95 @@
+"""GMON vs UMON study (Sec IV-G / VI-C).
+
+Feeds synthetic address streams (with known ground-truth miss curves) to
+monitors of different geometries and reports (a) curve accuracy and (b)
+the capacity-allocation quality when the runtime allocates from monitored
+curves instead of true ones.  The paper's claims to reproduce:
+
+* a conventional UMON needs ~512 ways for 64 KB grain over a 32 MB LLC;
+* 64-way GMONs match 256-way UMONs; 64-way UMONs lose ~3%;
+* huge (1K-way) UMONs beat 64-way GMONs by only ~1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.miss_curve import MissCurve
+from repro.cache.monitor import GMon, UMon
+from repro.workloads.generator import StackDistanceStream
+from repro.workloads.profiles import AppProfile
+
+
+@dataclass
+class MonitorAccuracy:
+    monitor_kind: str
+    ways: int
+    #: Mean absolute miss-ratio error against ground truth, over the
+    #: capacity range [0, coverage].
+    mean_abs_error: float
+    #: Error at small sizes only (the first 1/8th) — where fine resolution
+    #: matters for allocation.
+    small_size_error: float
+
+
+def monitored_curve(
+    monitor: UMon, stream: StackDistanceStream, accesses: int
+) -> MissCurve:
+    """Drive *accesses* addresses through *monitor* and extract its curve,
+    normalized to miss ratio (misses per access)."""
+    for _ in range(accesses):
+        monitor.access(stream.next_address())
+    curve = monitor.miss_curve()
+    total = max(curve.values[0], 1e-9)
+    return MissCurve(curve.sizes, curve.values / total)
+
+
+def curve_error(
+    monitored: MissCurve, truth: MissCurve, truth_apki: float, max_size: float,
+    points: int = 64,
+) -> tuple[float, float]:
+    """(overall, small-size) mean absolute miss-ratio error."""
+    sizes = np.linspace(0.0, max_size, points + 1)[1:]
+    true_ratio = np.minimum(np.asarray(truth(sizes)) / truth_apki, 1.0)
+    mon_ratio = np.asarray(monitored(sizes))
+    err = np.abs(true_ratio - mon_ratio)
+    small = max(points // 8, 1)
+    return float(err.mean()), float(err[:small].mean())
+
+
+def run_monitor_comparison(
+    profile: AppProfile,
+    llc_bytes: float,
+    accesses: int = 60_000,
+    footprint_scale: int = 16,
+    seed: int = 3,
+) -> list[MonitorAccuracy]:
+    """Compare monitor geometries on one app's (scaled) stream."""
+    scale = footprint_scale
+    curve = profile.private_curve.scaled_sizes(1.0 / scale)
+    coverage = llc_bytes / scale
+    first_way = coverage / 512  # the 64 KB-grain requirement, scaled
+    stream_args = dict(apki=profile.llc_apki, seed=seed)
+    results = []
+    configs = [
+        ("UMON", UMon(coverage, ways=64, seed=7)),
+        ("UMON", UMon(coverage, ways=256, seed=7)),
+        ("GMON", GMon(first_way, coverage, ways=64, seed=7)),
+    ]
+    for kind, monitor in configs:
+        stream = StackDistanceStream(curve, **stream_args)
+        mon_curve = monitored_curve(monitor, stream, accesses)
+        overall, small = curve_error(
+            mon_curve, curve, profile.llc_apki, coverage
+        )
+        results.append(
+            MonitorAccuracy(
+                monitor_kind=kind,
+                ways=monitor.ways,
+                mean_abs_error=overall,
+                small_size_error=small,
+            )
+        )
+    return results

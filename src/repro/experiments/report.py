@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[float, float]], fmt: str = "{:.3f}"
+) -> str:
+    """One figure series as 'name: x=y, x=y, ...'."""
+    body = ", ".join(
+        f"{x:g}={fmt.format(y)}" for x, y in points
+    )
+    return f"{name}: {body}"
+
+
+def format_breakdown(name: str, parts: Mapping[str, float]) -> str:
+    body = ", ".join(f"{k}={v:.3f}" for k, v in parts.items())
+    return f"{name}: {body}"

@@ -1,0 +1,142 @@
+"""Mix sweeps: the workhorse behind Figs 11, 13, 14, 15, 16.
+
+``run_sweep`` evaluates every scheme on N random mixes and collects
+weighted speedups plus the latency / traffic / energy aggregates the
+paper's figure panels report.  Single- and multi-threaded pools share the
+same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.model.metrics import gmean, inverse_cdf, weighted_speedup
+from repro.model.system import AnalyticSystem, MixEvaluation
+from repro.nuca.base import NucaScheme
+from repro.nuca import standard_schemes
+from repro.workloads.mixes import (
+    Mix,
+    random_multithreaded_mix,
+    random_single_threaded_mix,
+)
+
+BASELINE = "S-NUCA"
+
+
+@dataclass
+class SweepResult:
+    """Aggregated results of one sweep."""
+
+    n_apps: int
+    n_mixes: int
+    #: scheme -> weighted speedups, one per mix (vs S-NUCA).
+    speedups: dict[str, list[float]] = field(default_factory=dict)
+    #: scheme -> mean on-chip network latency per LLC access (cycles).
+    onchip_latency: dict[str, list[float]] = field(default_factory=dict)
+    #: scheme -> off-chip latency per kilo-instruction.
+    offchip_latency: dict[str, list[float]] = field(default_factory=dict)
+    #: scheme -> traffic breakdown (flit-hops/instr) per mix.
+    traffic: dict[str, list[dict[str, float]]] = field(default_factory=dict)
+    #: scheme -> energy-per-instruction breakdown (nJ) per mix.
+    energy: dict[str, list[dict[str, float]]] = field(default_factory=dict)
+
+    def gmean_speedup(self, scheme: str) -> float:
+        return gmean(self.speedups[scheme])
+
+    def max_speedup(self, scheme: str) -> float:
+        return max(self.speedups[scheme])
+
+    def speedup_cdf(self, scheme: str) -> list[float]:
+        """Fig 11a presentation: speedups sorted descending."""
+        return inverse_cdf(self.speedups[scheme])
+
+    def mean_onchip(self, scheme: str) -> float:
+        vals = self.onchip_latency[scheme]
+        return sum(vals) / len(vals)
+
+    def mean_offchip(self, scheme: str) -> float:
+        vals = self.offchip_latency[scheme]
+        return sum(vals) / len(vals)
+
+    def mean_traffic(self, scheme: str) -> dict[str, float]:
+        rows = self.traffic[scheme]
+        keys = rows[0].keys()
+        return {k: sum(r[k] for r in rows) / len(rows) for k in keys}
+
+    def mean_energy(self, scheme: str) -> dict[str, float]:
+        rows = self.energy[scheme]
+        keys = rows[0].keys()
+        return {k: sum(r[k] for r in rows) / len(rows) for k in keys}
+
+    def schemes(self) -> list[str]:
+        return [s for s in self.speedups if s != BASELINE]
+
+
+def _record(
+    result: SweepResult,
+    name: str,
+    evaluation: MixEvaluation,
+    bank_latency: float,
+) -> None:
+    # Fig 11b reports *network* latency: subtract the bank lookup.
+    result.onchip_latency.setdefault(name, []).append(
+        evaluation.mean_onchip_latency_per_access() - bank_latency
+    )
+    result.offchip_latency.setdefault(name, []).append(
+        evaluation.offchip_latency_per_kiloinstr()
+    )
+    result.traffic.setdefault(name, []).append(evaluation.traffic_per_instr())
+    result.energy.setdefault(name, []).append(evaluation.energy.as_dict())
+
+
+def run_sweep(
+    config: SystemConfig,
+    n_apps: int,
+    n_mixes: int = 50,
+    seed: int = 42,
+    multithreaded: bool = False,
+    schemes: list[NucaScheme] | None = None,
+    system: AnalyticSystem | None = None,
+) -> SweepResult:
+    """Evaluate schemes over random mixes; returns aggregated results."""
+    system = system or AnalyticSystem(config)
+    result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
+    for mix_id in range(n_mixes):
+        if multithreaded:
+            mix = random_multithreaded_mix(n_apps, seed, mix_id)
+        else:
+            mix = random_single_threaded_mix(n_apps, seed, mix_id)
+        evaluate_mix(config, mix, result, seed=mix_id, schemes=schemes,
+                     system=system)
+    return result
+
+
+def evaluate_mix(
+    config: SystemConfig,
+    mix: Mix,
+    result: SweepResult,
+    seed: int = 0,
+    schemes: list[NucaScheme] | None = None,
+    system: AnalyticSystem | None = None,
+) -> dict[str, MixEvaluation]:
+    """Evaluate one mix under every scheme, recording into *result*."""
+    system = system or AnalyticSystem(config)
+    scheme_list = schemes if schemes is not None else standard_schemes(seed)
+    alone = system.alone_performance(mix)
+    evaluations: dict[str, MixEvaluation] = {}
+    for scheme in scheme_list:
+        evaluations[scheme.name] = system.evaluate(mix, scheme)
+    baseline = evaluations.get(BASELINE)
+    if baseline is None:
+        from repro.nuca.snuca import SNuca
+
+        baseline = system.evaluate(mix, SNuca(seed))
+        evaluations[BASELINE] = baseline
+    for name, evaluation in evaluations.items():
+        if name != BASELINE:
+            result.speedups.setdefault(name, []).append(
+                weighted_speedup(evaluation, baseline, alone)
+            )
+        _record(result, name, evaluation, config.cache.bank_latency)
+    return evaluations

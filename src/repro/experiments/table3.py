@@ -1,0 +1,78 @@
+"""Reconfiguration runtime analysis (Table 3).
+
+Measures the software cost of each reconfiguration step at the paper's
+three operating points — 16 threads / 16 cores, 16 / 64, 64 / 64 — by
+counting each step's primitive operations and converting to cycles
+(sched.opcount).  The paper's observation to reproduce: total runtime is a
+few Mcycles, dominated by thread/data placement (quadratic in tiles), for
+an overhead of ~0.2% at 25 ms periods on 64 tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, default_config
+from repro.nuca.base import build_problem
+from repro.nuca.cdcs import Cdcs
+from repro.util.units import ms_to_cycles
+from repro.workloads.mixes import random_single_threaded_mix
+
+OPERATING_POINTS: tuple[tuple[int, int], ...] = ((16, 16), (16, 64), (64, 64))
+
+STEPS = ("allocation", "vc_placement", "thread_placement", "data_placement")
+
+
+@dataclass
+class RuntimeRow:
+    threads: int
+    cores: int
+    #: step -> Mcycles per reconfiguration invocation.
+    step_mcycles: dict[str, float]
+
+    @property
+    def total_mcycles(self) -> float:
+        return sum(self.step_mcycles.values())
+
+    def overhead_percent(self, period_ms: float = 25.0) -> float:
+        """Software overhead as % of *system* cycles, as the paper reports
+        it: one core runs the reconfiguration for ``total`` cycles out of
+        ``cores x period`` cycles of aggregate execution."""
+        period = ms_to_cycles(period_ms)
+        return 100.0 * self.total_mcycles * 1e6 / (period * self.cores)
+
+
+def _chip_for(cores: int) -> SystemConfig:
+    side = int(round(cores ** 0.5))
+    if side * side != cores:
+        raise ValueError(f"need a square tile count, got {cores}")
+    return default_config().with_mesh(side, side)
+
+
+def run_table3(
+    seed: int = 42,
+    repeats: int = 3,
+) -> list[RuntimeRow]:
+    """Measure step costs at each (threads, cores) operating point."""
+    rows = []
+    for threads, cores in OPERATING_POINTS:
+        config = _chip_for(cores)
+        step_totals = {step: 0.0 for step in STEPS}
+        for rep in range(repeats):
+            mix = random_single_threaded_mix(threads, seed, rep)
+            problem = build_problem(mix, config)
+            result = Cdcs(seed=rep).run(problem)
+            assert result.step_cycles is not None
+            for step in STEPS:
+                step_totals[step] += result.step_cycles.get(step, 0.0)
+        rows.append(
+            RuntimeRow(
+                threads=threads,
+                cores=cores,
+                step_mcycles={
+                    step: total / repeats / 1e6
+                    for step, total in step_totals.items()
+                },
+            )
+        )
+    return rows

@@ -1,0 +1,31 @@
+"""Chip topologies (mesh/torus) and the geometric primitives used by
+CDCS's placement steps (compact placement, contention windows, spirals,
+centers of mass)."""
+
+from repro.geometry.mesh import Mesh, Topology, Torus
+from repro.geometry.placement_math import (
+    center_of_mass,
+    compact_mean_distance,
+    compact_placement,
+    contention_window,
+    nearest_tile,
+    placement_mean_distance,
+    spiral,
+    weighted_center_tile,
+    window_contention,
+)
+
+__all__ = [
+    "Mesh",
+    "Topology",
+    "Torus",
+    "center_of_mass",
+    "compact_mean_distance",
+    "compact_placement",
+    "contention_window",
+    "nearest_tile",
+    "placement_mean_distance",
+    "spiral",
+    "weighted_center_tile",
+    "window_contention",
+]

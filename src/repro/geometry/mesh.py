@@ -1,0 +1,148 @@
+"""Chip topologies and network distance.
+
+CDCS only needs a distance function between tiles (Sec IV-B: "CDCS uses
+arbitrary distance vectors, so it works with arbitrary topologies").  We
+provide an abstract :class:`Topology` plus the concrete :class:`Mesh` used in
+the paper's evaluation (X-Y routed, memory controllers at the edges) and a
+:class:`Torus` to demonstrate topology independence.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+import numpy as np
+
+
+class Topology(ABC):
+    """A set of tiles with a hop-count metric between them."""
+
+    def __init__(self, tiles: int):
+        if tiles <= 0:
+            raise ValueError(f"topology needs at least one tile, got {tiles}")
+        self.tiles = tiles
+        self._distance_order_cache: dict[int, list[int]] = {}
+
+    @abstractmethod
+    def distance(self, a: int, b: int) -> int:
+        """Network distance between tiles *a* and *b* in hops."""
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        """Dense (tiles x tiles) hop-count matrix; placement algorithms index
+        this instead of recomputing distances."""
+        mat = np.zeros((self.tiles, self.tiles), dtype=np.int32)
+        for a in range(self.tiles):
+            for b in range(self.tiles):
+                mat[a, b] = self.distance(a, b)
+        return mat
+
+    def tiles_by_distance(self, center: int) -> list[int]:
+        """Tiles sorted by distance from *center* (ties broken by tile id,
+        so the order is deterministic).  Cached: placement algorithms call
+        this for every candidate center of every VC."""
+        cached = self._distance_order_cache.get(center)
+        if cached is None:
+            cached = sorted(
+                range(self.tiles), key=lambda t: (self.distance(center, t), t)
+            )
+            self._distance_order_cache[center] = cached
+        return cached
+
+    def mean_distance(self, origin: int) -> float:
+        """Average distance from *origin* to every tile (including itself).
+
+        This is the S-NUCA expected hop count: lines are spread uniformly
+        over all banks, so every access travels the mean distance.
+        """
+        return float(self.distance_matrix[origin].mean())
+
+    def center_tile(self) -> int:
+        """The tile minimizing mean distance to all others."""
+        means = self.distance_matrix.mean(axis=1)
+        return int(np.argmin(means))
+
+
+class Mesh(Topology):
+    """2-D mesh with dimension-ordered (X-Y) routing, as in Table 2."""
+
+    def __init__(self, width: int, height: int):
+        if width <= 0 or height <= 0:
+            raise ValueError(f"invalid mesh {width}x{height}")
+        self.width = width
+        self.height = height
+        super().__init__(width * height)
+
+    def coords(self, tile: int) -> tuple[int, int]:
+        """(x, y) coordinates of *tile*; tile ids are row-major."""
+        if not 0 <= tile < self.tiles:
+            raise IndexError(f"tile {tile} outside mesh of {self.tiles}")
+        return tile % self.width, tile // self.width
+
+    def tile_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def distance(self, a: int, b: int) -> int:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def neighbors(self, tile: int) -> list[int]:
+        """Tiles one hop away (mesh links only)."""
+        x, y = self.coords(tile)
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                out.append(self.tile_at(nx, ny))
+        return out
+
+    def memory_controller_tiles(self, controllers: int) -> list[int]:
+        """Edge tiles adjacent to memory controllers.
+
+        The paper's chip (Fig 3) puts controllers on all four edges; we
+        spread ``controllers`` evenly around the perimeter, starting from the
+        middle of each edge, matching the "average distance of all cores to
+        memory controllers is the same" property Eq 1 relies on.
+        """
+        if controllers <= 0:
+            raise ValueError("need at least one memory controller")
+        perimeter: list[int] = []
+        # Walk the perimeter clockwise from the top edge.
+        for x in range(self.width):
+            perimeter.append(self.tile_at(x, 0))
+        for y in range(1, self.height):
+            perimeter.append(self.tile_at(self.width - 1, y))
+        if self.height > 1:
+            for x in range(self.width - 2, -1, -1):
+                perimeter.append(self.tile_at(x, self.height - 1))
+        if self.width > 1:
+            for y in range(self.height - 2, 0, -1):
+                perimeter.append(self.tile_at(0, y))
+        count = min(controllers, len(perimeter))
+        step = len(perimeter) / count
+        return [perimeter[int(i * step + step / 2) % len(perimeter)] for i in range(count)]
+
+    def mean_memory_distance(self, origin: int, controllers: int) -> float:
+        """Average hops from *origin* to a memory controller (pages are
+        interleaved across controllers, Sec III)."""
+        mcs = self.memory_controller_tiles(controllers)
+        return float(np.mean([self.distance(origin, m) for m in mcs]))
+
+
+class Torus(Mesh):
+    """2-D torus: mesh with wraparound links.
+
+    Not used in the paper's evaluation; it exists to exercise the
+    arbitrary-topology claim of Sec IV-B in tests and examples.
+    """
+
+    def distance(self, a: int, b: int) -> int:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)

@@ -1,0 +1,168 @@
+"""Geometric primitives behind CDCS's placement steps.
+
+These implement the pictures in the paper:
+
+* **Fig 6** — *compact placement*: fill banks outward from a center tile,
+  possibly fractionally, and compute the resulting average access distance.
+  Used for the optimistic on-chip latency curves of Sec IV-C.
+* **Fig 7** — *contention windows*: the set of banks a compactly-placed VC
+  would cover, used to tally claimed capacity in Sec IV-D.
+* **Fig 8** — *outward spirals*: visit banks in increasing distance from a
+  center, used by the trade-based refinement of Sec IV-F.
+* **centers of mass** of capacity distributions, used by thread placement
+  (Sec IV-E).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.geometry.mesh import Topology
+
+
+def compact_placement(
+    topology: Topology, center: int, size_banks: float
+) -> dict[int, float]:
+    """Place *size_banks* of capacity as close to *center* as possible.
+
+    Banks are filled in increasing distance from *center* (deterministic
+    tie-break by tile id); the last bank may receive a fraction.  Returns
+    ``{tile: fraction_of_bank}`` with fractions in ``(0, 1]`` summing to
+    *size_banks* (clamped to the chip size).
+
+    This is the idealized, contention-free placement of Fig 6: an
+    8.2-bank VC centered mid-chip covers the center bank fully, its
+    neighbors fully, and tapers at the edge of the covered region.
+    """
+    if size_banks < 0:
+        raise ValueError(f"size must be non-negative, got {size_banks}")
+    remaining = min(float(size_banks), float(topology.tiles))
+    placement: dict[int, float] = {}
+    for tile in topology.tiles_by_distance(center):
+        if remaining <= 1e-12:
+            break
+        take = min(1.0, remaining)
+        placement[tile] = take
+        remaining -= take
+    return placement
+
+
+def placement_mean_distance(
+    topology: Topology, origin: int, placement: Mapping[int, float]
+) -> float:
+    """Capacity-weighted average distance from *origin* to a placement.
+
+    For a VC accessed by a single thread at *origin*, this is the expected
+    hop count of an LLC access (the VTB spreads accesses in proportion to
+    per-bank capacity, Sec III).
+    """
+    total = sum(placement.values())
+    if total <= 0:
+        return 0.0
+    weighted = sum(
+        frac * topology.distance(origin, tile) for tile, frac in placement.items()
+    )
+    return weighted / total
+
+
+def compact_mean_distance(topology: Topology, center: int, size_banks: float) -> float:
+    """Average access distance of a compact placement of *size_banks* around
+    *center* for an accessor at *center* (the Fig 6 computation: an
+    8.2-bank VC at mesh center averages ~1.27 hops)."""
+    placement = compact_placement(topology, center, size_banks)
+    return placement_mean_distance(topology, center, placement)
+
+
+def contention_window(
+    topology: Topology, center: int, size_banks: float
+) -> dict[int, float]:
+    """Banks (with fractions) that a compactly-placed VC would claim.
+
+    Identical footprint to :func:`compact_placement`; named separately
+    because Sec IV-D uses it to *estimate* contention (summing already-
+    claimed capacity over the window) rather than to place data.
+    """
+    return compact_placement(topology, center, size_banks)
+
+
+def window_contention(
+    claimed: Mapping[int, float] | "list[float]",
+    window: Mapping[int, float],
+) -> float:
+    """Contention of a placement window against a claimed-capacity tally.
+
+    *claimed* maps bank -> capacity already claimed (in banks; may exceed
+    1.0 since Sec IV-D relaxes capacity constraints).  The contention is the
+    claimed capacity under the window, weighted by window coverage — the
+    hatched-area sum of Fig 7b.
+    """
+    return sum(frac * claimed[tile] for tile, frac in window.items())
+
+
+def spiral(topology: Topology, center: int) -> Iterator[int]:
+    """Yield tiles in increasing distance from *center*.
+
+    This is the "outward spiral" of the refinement step (Fig 8).  On a mesh
+    the visit order is by Manhattan ring; within a ring the order is
+    deterministic (tile id).
+    """
+    yield from topology.tiles_by_distance(center)
+
+
+def center_of_mass(
+    topology: Topology, weights: Mapping[int, float]
+) -> tuple[float, ...]:
+    """Weighted centroid of tiles in coordinate space.
+
+    For mesh topologies the coordinates are (x, y); the result is fractional.
+    Raises ``ValueError`` on empty/zero weights: callers must handle VCs with
+    no placed capacity explicitly.
+    """
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("center of mass of empty placement is undefined")
+    coords = [topology.coords(t) for t in weights]  # type: ignore[attr-defined]
+    dims = len(coords[0])
+    out = []
+    for d in range(dims):
+        out.append(
+            sum(w * c[d] for c, w in zip(coords, weights.values())) / total
+        )
+    return tuple(out)
+
+
+def nearest_tile(topology: Topology, point: Iterable[float]) -> int:
+    """Tile whose coordinates are closest (Euclidean) to a fractional point;
+    deterministic tie-break by tile id."""
+    point = tuple(point)
+    best_tile = 0
+    best_dist = float("inf")
+    for tile in range(topology.tiles):
+        coords = topology.coords(tile)  # type: ignore[attr-defined]
+        dist = sum((c - p) ** 2 for c, p in zip(coords, point))
+        if dist < best_dist - 1e-12:
+            best_dist = dist
+            best_tile = tile
+    return best_tile
+
+
+def weighted_center_tile(topology: Topology, weights: Mapping[int, float]) -> int:
+    """Tile minimizing the capacity-weighted total distance to *weights*.
+
+    This is the discrete 1-median under the network metric — a more faithful
+    "center of mass" for hop-count latency than the Euclidean centroid, and
+    what the thread-placement step uses to turn a data placement into a
+    preferred core location.
+    """
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("weighted center of empty placement is undefined")
+    dist = topology.distance_matrix
+    best_tile = 0
+    best_cost = float("inf")
+    for tile in range(topology.tiles):
+        cost = sum(w * dist[tile, b] for b, w in weights.items())
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_tile = tile
+    return best_tile

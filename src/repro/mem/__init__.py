@@ -1,0 +1,7 @@
+"""Memory system: DRAM timing with bandwidth queueing, and edge memory
+controllers with page interleaving."""
+
+from repro.mem.controller import MemoryControllers
+from repro.mem.dram import DramModel
+
+__all__ = ["DramModel", "MemoryControllers"]

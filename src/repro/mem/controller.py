@@ -1,0 +1,50 @@
+"""Memory controllers: placement at mesh edges and page interleaving.
+
+Pages are interleaved across controllers "as in Tilera and Knights Corner
+chips" (Sec III), so every core sees the same average distance to memory —
+the property Eq 1 relies on.  The controller layer supplies (a) which tile a
+given line's controller sits at (for the trace simulator) and (b) the mean
+core-to-controller hop count (for the analytic model and traffic accounting).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.config import MemoryConfig
+from repro.geometry.mesh import Mesh
+from repro.util.hashing import mix64
+
+
+class MemoryControllers:
+    """The chip's memory controllers and their address mapping."""
+
+    def __init__(self, mesh: Mesh, config: MemoryConfig | None = None, seed: int = 11):
+        self.mesh = mesh
+        self.config = config or MemoryConfig()
+        self.seed = seed
+        self.tiles = mesh.memory_controller_tiles(self.config.controllers)
+
+    def controller_for(self, line_addr: int, page_lines: int = 64) -> int:
+        """Controller tile serving *line_addr* (page-granularity interleave;
+        4 KB pages = 64 lines)."""
+        page = line_addr // page_lines
+        idx = mix64(page, self.seed) % len(self.tiles)
+        return self.tiles[idx]
+
+    @cached_property
+    def mean_distance_matrix(self) -> np.ndarray:
+        """mean hops from each tile to a (uniformly used) controller."""
+        out = np.zeros(self.mesh.tiles, dtype=np.float64)
+        for tile in range(self.mesh.tiles):
+            out[tile] = np.mean([self.mesh.distance(tile, m) for m in self.tiles])
+        return out
+
+    def mean_distance(self, origin: int) -> float:
+        return float(self.mean_distance_matrix[origin])
+
+    def chip_mean_distance(self) -> float:
+        """Average over all tiles — the uniform-latency assumption of Eq 1."""
+        return float(self.mean_distance_matrix.mean())

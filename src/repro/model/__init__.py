@@ -1,0 +1,28 @@
+"""Analytic evaluation engine: per-thread performance with bandwidth
+feedback, plus energy, traffic, and weighted-speedup metrics."""
+
+from repro.model.energy import EnergyBreakdown, EnergyParams, energy_per_instruction
+from repro.model.metrics import (
+    gmean,
+    inverse_cdf,
+    normalize_to,
+    per_app_speedups,
+    per_process_speedups,
+    weighted_speedup,
+)
+from repro.model.system import AnalyticSystem, MixEvaluation, ThreadPerf
+
+__all__ = [
+    "AnalyticSystem",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "MixEvaluation",
+    "ThreadPerf",
+    "energy_per_instruction",
+    "gmean",
+    "inverse_cdf",
+    "normalize_to",
+    "per_app_speedups",
+    "per_process_speedups",
+    "weighted_speedup",
+]

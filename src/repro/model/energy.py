@@ -1,0 +1,80 @@
+"""Energy model: per-event energies in the spirit of McPAT @ 22 nm.
+
+Fig 11e breaks energy per instruction into Static / Core / Net / LLC / Mem.
+The breakdown *shape* across schemes is driven by relative event energies
+and by runtime (static energy accrues per cycle, so faster schemes amortize
+it over more instructions) — which is what these constants capture.  They
+are calibrated so the 64-tile chip lands in the paper's 80-130 W envelope
+(Sec V) with a static share consistent with lean-core designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import CORE_CLOCK_HZ
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (nJ) and static power (W)."""
+
+    static_watts: float = 48.0  # chip leakage + clocks + DRAM background
+    core_nj_per_instr: float = 0.17  # lean 2-way OOO dynamic energy
+    llc_nj_per_access: float = 0.85  # 512 KB bank read/write
+    noc_nj_per_flit_hop: float = 0.045  # router + link traversal, 128-bit flit
+    dram_nj_per_access: float = 17.0  # 64 B line transfer + activate share
+    clock_hz: int = CORE_CLOCK_HZ
+
+    @property
+    def static_nj_per_cycle(self) -> float:
+        return self.static_watts * 1e9 / self.clock_hz
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per instruction (nJ), by Fig 11e category."""
+
+    static: float = 0.0
+    core: float = 0.0
+    net: float = 0.0
+    llc: float = 0.0
+    mem: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.static + self.core + self.net + self.llc + self.mem
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Static": self.static,
+            "Core": self.core,
+            "Net": self.net,
+            "LLC": self.llc,
+            "Mem": self.mem,
+        }
+
+
+def energy_per_instruction(
+    params: EnergyParams,
+    aggregate_cpi: float,
+    llc_accesses_per_instr: float,
+    flit_hops_per_instr: float,
+    dram_accesses_per_instr: float,
+    cores_active_fraction: float = 1.0,
+) -> EnergyBreakdown:
+    """Chip-wide energy per instruction.
+
+    *aggregate_cpi* is total core-cycles per instruction across the chip
+    (1 / aggregate IPC x active cores): static energy accrues on every
+    cycle of every core's clock, so slow schemes pay more per instruction.
+    """
+    if aggregate_cpi <= 0:
+        raise ValueError("aggregate CPI must be positive")
+    return EnergyBreakdown(
+        static=params.static_nj_per_cycle * aggregate_cpi * cores_active_fraction,
+        core=params.core_nj_per_instr,
+        net=params.noc_nj_per_flit_hop * flit_hops_per_instr,
+        llc=params.llc_nj_per_access * llc_accesses_per_instr,
+        mem=params.dram_nj_per_access * dram_accesses_per_instr,
+    )

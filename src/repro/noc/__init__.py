@@ -1,0 +1,6 @@
+"""On-chip network: zero-load latency model and traffic-class accounting."""
+
+from repro.noc.router import NocModel
+from repro.noc.traffic import TrafficClass, TrafficCounter
+
+__all__ = ["NocModel", "TrafficClass", "TrafficCounter"]

@@ -1,0 +1,41 @@
+"""NoC latency model: dimension-ordered routing over the chip topology.
+
+The trace simulator and the analytic model both charge network latency as
+``hops x (router + link)`` cycles (Table 2: 3-cycle routers, 1-cycle links).
+We model zero-load latency only: the paper's evaluation is capacity- and
+placement-dominated, and its NoC (128-bit links) runs far from saturation
+for these workloads, so queueing in the mesh is second-order (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.config import NocConfig
+from repro.geometry.mesh import Topology
+
+
+class NocModel:
+    """Latency and path helper bound to a topology + NoC timing."""
+
+    def __init__(self, topology: Topology, config: NocConfig | None = None):
+        self.topology = topology
+        self.config = config or NocConfig()
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way zero-load latency in cycles between two tiles.
+
+        Same-tile messages skip the network entirely (bank and core share
+        the tile), which is what makes R-NUCA's local-bank policy fast.
+        """
+        hops = self.topology.distance(src, dst)
+        return hops * self.config.hop_latency
+
+    def round_trip(self, src: int, dst: int) -> int:
+        return 2 * self.latency(src, dst)
+
+    def hops(self, src: int, dst: int) -> int:
+        return self.topology.distance(src, dst)
+
+    def mean_latency_to_all(self, src: int) -> float:
+        """Average one-way latency from *src* to a uniformly random tile
+        (the S-NUCA case: lines interleaved over all banks)."""
+        return self.topology.mean_distance(src) * self.config.hop_latency

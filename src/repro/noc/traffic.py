@@ -1,0 +1,69 @@
+"""NoC traffic accounting.
+
+Fig 11d/14/15 break network traffic into L2<->LLC, LLC<->Mem and Other
+flit-hops.  This module centralizes message costing: every logical message
+(request, data response, writeback, move, invalidation) is converted into
+flits x hops and accumulated per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.config import NocConfig
+
+
+class TrafficClass(Enum):
+    """Paper's Fig 11d traffic categories."""
+
+    L2_LLC = "L2-LLC"
+    LLC_MEM = "LLC-Mem"
+    OTHER = "Other"
+
+
+@dataclass
+class TrafficCounter:
+    """Accumulates flit-hops per traffic class."""
+
+    noc: NocConfig = field(default_factory=NocConfig)
+    flit_hops: dict[TrafficClass, float] = field(
+        default_factory=lambda: {cls: 0.0 for cls in TrafficClass}
+    )
+
+    def add_message(
+        self,
+        cls: TrafficClass,
+        hops: float,
+        payload_bytes: int = 0,
+        count: float = 1.0,
+    ) -> None:
+        """Record *count* messages of *payload_bytes* travelling *hops*."""
+        flits = self.noc.flits_for_bytes(payload_bytes)
+        self.flit_hops[cls] += flits * hops * count
+
+    def add_request_response(
+        self,
+        cls: TrafficClass,
+        hops: float,
+        response_bytes: int,
+        count: float = 1.0,
+    ) -> None:
+        """A request (header-only) plus a response carrying data, both over
+        *hops* — the common LLC access pattern."""
+        self.add_message(cls, hops, payload_bytes=0, count=count)
+        self.add_message(cls, hops, payload_bytes=response_bytes, count=count)
+
+    def total(self) -> float:
+        return sum(self.flit_hops.values())
+
+    def breakdown(self) -> dict[str, float]:
+        return {cls.value: hops for cls, hops in self.flit_hops.items()}
+
+    def merge(self, other: "TrafficCounter") -> None:
+        for cls, hops in other.flit_hops.items():
+            self.flit_hops[cls] += hops
+
+    def reset(self) -> None:
+        for cls in self.flit_hops:
+            self.flit_hops[cls] = 0.0

@@ -1,0 +1,41 @@
+"""CDCS: the paper's scheme — the full 4-step co-scheduling pipeline.
+
+Also exposes the partial variants used by the factor analysis of Fig 12
+(+L, +T, +D on top of Jigsaw+R).
+"""
+
+from __future__ import annotations
+
+from repro.nuca.base import NucaScheme, SchemeResult
+from repro.sched.problem import PlacementProblem
+from repro.sched.reconfigure import ReconfigPolicy, reconfigure
+from repro.sched.thread_placement import random_thread_placement
+
+
+class Cdcs(NucaScheme):
+    name = "CDCS"
+
+    def __init__(self, policy: ReconfigPolicy | None = None, seed: int = 0):
+        self.policy = policy or ReconfigPolicy.cdcs()
+        self.seed = seed
+        if self.policy != ReconfigPolicy.cdcs():
+            self.name = f"Jigsaw+R{self.policy.label()}"
+
+    def run(self, problem: PlacementProblem) -> SchemeResult:
+        external = None
+        if not self.policy.place_threads:
+            external = random_thread_placement(problem, self.seed)
+        result = reconfigure(problem, self.policy, external_thread_cores=external)
+        return SchemeResult(self.name, result.solution, result.step_cycles())
+
+
+def factor_variant(latency: bool, threads: bool, data: bool, seed: int = 0) -> Cdcs:
+    """A Fig 12 variant: Jigsaw+R plus any subset of {L, T, D}."""
+    return Cdcs(
+        ReconfigPolicy(
+            latency_aware_allocation=latency,
+            place_threads=threads,
+            trade_refinement=data,
+        ),
+        seed=seed,
+    )

@@ -1,0 +1,37 @@
+"""A plain partitioned shared cache (UCP-style), placement-oblivious.
+
+Sec II-A: "partitioned caches scale poorly because they do not optimize
+placement."  This scheme sizes VCs by miss-driven Lookahead (as UCP would)
+but spreads every VC's capacity uniformly across banks, so all accesses pay
+the mean core-to-bank distance — capacity efficiency without locality.
+Used as an extra comparison point in tests and ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.nuca.base import NucaScheme, SchemeResult
+from repro.sched.allocation import allocate_miss_driven
+from repro.sched.problem import PlacementProblem, PlacementSolution
+from repro.sched.thread_placement import random_thread_placement
+
+
+class PartitionedShared(NucaScheme):
+    name = "Partitioned"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def run(self, problem: PlacementProblem) -> SchemeResult:
+        sizes = allocate_miss_driven(problem)
+        tiles = problem.topology.tiles
+        allocation = {
+            vc_id: {b: max(size, 1.0) / tiles for b in range(tiles)}
+            for vc_id, size in sizes.items()
+            if size > 0 or sum(problem.accessors_of(vc_id).values()) > 0
+        }
+        solution = PlacementSolution(
+            vc_sizes=sizes,
+            vc_allocation=allocation,
+            thread_cores=random_thread_placement(problem, self.seed),
+        )
+        return SchemeResult(self.name, solution)

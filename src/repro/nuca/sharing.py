@@ -1,0 +1,83 @@
+"""Emergent capacity sharing in unpartitioned caches.
+
+S-NUCA and R-NUCA do not partition capacity; occupancy emerges from the
+replacement policy.  We model LRU sharing with the standard insertion-
+balance fixed point: in steady state each stream's insertion rate (its miss
+rate at its occupancy) equals its eviction rate, and eviction pressure hits
+streams in proportion to their occupancy.  Formally, find pressure ``P``
+and occupancies ``o_d`` with::
+
+    m_d(o_d) = P * o_d          (per-stream balance)
+    sum_d o_d = C               (cache fills up)
+
+unless all footprints fit (then ``P = 0`` and everyone keeps their working
+set).  Both equations are monotone, so nested bisection converges fast.
+This is how streaming apps (milc) crowd fitting apps (omnet) out of an
+unmanaged LLC — the Sec II-B observation that motivates partitioning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+MissFn = Callable[[float], float]
+
+
+def _occupancy_at_pressure(
+    miss_fn: MissFn, pressure: float, capacity: float
+) -> float:
+    """Solve ``m(o) = P * o`` for one stream (clamped to [0, capacity])."""
+    if miss_fn(0.0) <= 0.0:
+        return 0.0
+    if pressure <= 0.0 or miss_fn(capacity) >= pressure * capacity:
+        return capacity
+    lo, hi = 0.0, capacity
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if miss_fn(mid) >= pressure * mid:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def shared_cache_occupancies(
+    miss_fns: Sequence[MissFn], capacity: float
+) -> list[float]:
+    """Steady-state occupancy of each stream in a shared LRU cache.
+
+    *miss_fns* give each stream's miss rate as a function of its own
+    occupancy (units are arbitrary but must be common across streams).
+    """
+    if capacity <= 0:
+        return [0.0] * len(miss_fns)
+    # If everything fits at zero pressure, footprints are the answer.
+    unconstrained = [
+        _occupancy_at_pressure(fn, 0.0, capacity) for fn in miss_fns
+    ]
+    if sum(unconstrained) <= capacity:
+        return unconstrained
+
+    def total_occupancy(pressure: float) -> float:
+        return sum(
+            _occupancy_at_pressure(fn, pressure, capacity) for fn in miss_fns
+        )
+
+    lo, hi = 1e-12, 1.0
+    while total_occupancy(hi) > capacity:
+        hi *= 4.0
+        if hi > 1e12:
+            break
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if total_occupancy(mid) > capacity:
+            lo = mid
+        else:
+            hi = mid
+    pressure = 0.5 * (lo + hi)
+    occ = [_occupancy_at_pressure(fn, pressure, capacity) for fn in miss_fns]
+    total = sum(occ)
+    if total > capacity and total > 0:
+        scale = capacity / total
+        occ = [o * scale for o in occ]
+    return occ

@@ -1,0 +1,14 @@
+"""Alternative thread/data placers used as comparators in Sec VI-C:
+LP-optimal data placement (ILP stand-in), simulated annealing, and
+recursive-bisection graph partitioning."""
+
+from repro.placers.annealing import AnnealResult, anneal_thread_placement
+from repro.placers.graph_partition import graph_partition_placement
+from repro.placers.linear_program import lp_data_placement
+
+__all__ = [
+    "AnnealResult",
+    "anneal_thread_placement",
+    "graph_partition_placement",
+    "lp_data_placement",
+]

@@ -1,0 +1,187 @@
+"""Latency-aware capacity allocation (Sec IV-C).
+
+Divides LLC capacity among VCs to minimize the sum of their total-latency
+curves (off-chip + optimistic on-chip, Fig 5).  The optimizer is the
+convex-hull variant of Lookahead: walking each curve's convex minorant
+yields, at every point, the best achievable marginal latency reduction per
+quantum, so a best-first greedy over hull segments is optimal over the
+hulls — the same result Peekahead [Jigsaw] computes, and the reason the
+allocator runs in near-linear time instead of Lookahead's quadratic.
+
+Two policies:
+
+* :func:`allocate_latency_aware` (CDCS): allocates over total-latency
+  curves and **stops when marginal benefit turns negative** — capacity may
+  go unused (Sec IV-C: "it is sometimes better to leave cache capacity
+  unused").
+* :func:`allocate_miss_driven` (Jigsaw): allocates over off-chip-only
+  curves and then distributes leftover capacity (a partitioned LLC leaves
+  no bank idle), which is what makes Jigsaw over-allocate in
+  under-committed systems (Fig 12b/14).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.sched.cost_model import latency_curve, miss_only_curve
+from repro.sched.opcount import StepCounter
+from repro.sched.problem import PlacementProblem
+
+
+def convex_hull_indices(values: np.ndarray) -> list[int]:
+    """Indices of the lower convex hull vertices of ``(i, values[i])``.
+
+    Monotone-chain over an already-sorted x axis: O(n).
+    """
+    hull: list[int] = []
+    for i in range(len(values)):
+        while len(hull) >= 2:
+            i0, i1 = hull[-2], hull[-1]
+            # Keep i1 only if it bends the chain downward-convex.
+            lhs = (values[i1] - values[i0]) * (i - i1)
+            rhs = (values[i] - values[i1]) * (i1 - i0)
+            if lhs <= rhs + 1e-12:
+                break
+            hull.pop()
+        hull.append(i)
+    return hull
+
+
+def _greedy_hull_allocation(
+    curves: list[np.ndarray],
+    budget_quanta: int,
+    counter: StepCounter,
+    step_name: str,
+) -> list[int]:
+    """Best-first walk over hull segments; returns quanta per curve."""
+    sizes = [0] * len(curves)
+    hulls = [convex_hull_indices(c) for c in curves]
+    for h in hulls:
+        counter.add(step_name, len(h))
+    cursor = [0] * len(curves)  # index into each hull's vertex list
+    heap: list[tuple[float, int]] = []
+
+    def push_next(d: int) -> None:
+        h = hulls[d]
+        if cursor[d] + 1 >= len(h):
+            return
+        i0, i1 = h[cursor[d]], h[cursor[d] + 1]
+        benefit = (curves[d][i0] - curves[d][i1]) / (i1 - i0)
+        heapq.heappush(heap, (-benefit, d))
+
+    for d in range(len(curves)):
+        push_next(d)
+
+    remaining = budget_quanta
+    while heap and remaining > 0:
+        neg_benefit, d = heapq.heappop(heap)
+        counter.add(step_name)
+        if -neg_benefit <= 1e-12:
+            break  # further capacity only adds latency
+        h = hulls[d]
+        i0, i1 = h[cursor[d]], h[cursor[d] + 1]
+        take = min(i1 - i0, remaining)
+        sizes[d] += take
+        remaining -= take
+        if take == i1 - i0:
+            cursor[d] += 1
+            push_next(d)
+        # Partial take: budget exhausted; loop exits via remaining == 0.
+    return sizes
+
+
+def _ensure_minimum_quanta(
+    problem: PlacementProblem,
+    sizes: list[int],
+    budget: int,
+    curves: list[np.ndarray],
+) -> None:
+    """Every VC with live accessors needs >= 1 quantum: its descriptor must
+    point at a real bank partition (Fig 3).  Spare budget covers it; if the
+    chip is fully allocated, the quantum is taken from the donor whose
+    curve loses the least by shrinking (never from the middle of a cliff).
+    """
+    spare = budget - sum(sizes)
+    for i, vc in enumerate(problem.vcs):
+        if sizes[i] > 0:
+            continue
+        rate = sum(problem.accessors_of(vc.vc_id).values())
+        if rate <= 0:
+            continue
+        if spare > 0:
+            spare -= 1
+        else:
+            candidates = [j for j in range(len(sizes)) if sizes[j] > 1]
+            if not candidates:
+                continue  # nothing sensible to steal
+            donor = min(
+                candidates,
+                key=lambda j: curves[j][sizes[j] - 1] - curves[j][sizes[j]],
+            )
+            sizes[donor] -= 1
+        sizes[i] = 1
+
+
+def allocate_latency_aware(
+    problem: PlacementProblem,
+    counter: StepCounter | None = None,
+) -> dict[int, float]:
+    """CDCS capacity allocation: vc_id -> bytes (may not use all capacity)."""
+    counter = counter if counter is not None else StepCounter()
+    curves = []
+    for vc in problem.vcs:
+        rate = sum(problem.accessors_of(vc.vc_id).values())
+        curves.append(latency_curve(problem, vc.miss_curve, rate))
+    budget = problem.total_bytes // problem.quantum
+    sizes = _greedy_hull_allocation(curves, budget, counter, "allocation")
+    _ensure_minimum_quanta(problem, sizes, budget, curves)
+    return {
+        vc.vc_id: sizes[i] * problem.quantum for i, vc in enumerate(problem.vcs)
+    }
+
+
+def allocate_miss_driven(
+    problem: PlacementProblem,
+    counter: StepCounter | None = None,
+    distribute_leftover: bool = True,
+) -> dict[int, float]:
+    """Jigsaw-style allocation: misses only, leftover handed out anyway.
+
+    Leftover goes to VCs in proportion to their access rates (an LLC with
+    partitioned banks has no reason to idle capacity if misses are already
+    minimized — but the extra banks raise on-chip latency, which Jigsaw's
+    allocator cannot see).
+    """
+    counter = counter if counter is not None else StepCounter()
+    rates = [sum(problem.accessors_of(vc.vc_id).values()) for vc in problem.vcs]
+    curves = [
+        miss_only_curve(problem, vc.miss_curve, rate)
+        for vc, rate in zip(problem.vcs, rates)
+    ]
+    budget = problem.total_bytes // problem.quantum
+    sizes = _greedy_hull_allocation(curves, budget, counter, "allocation")
+    leftover = budget - sum(sizes)
+    if distribute_leftover and leftover > 0:
+        total_rate = sum(rates)
+        if total_rate > 0:
+            quotas = [leftover * r / total_rate for r in rates]
+        else:
+            quotas = [leftover / len(sizes)] * len(sizes)
+        # Largest-remainder rounding of the leftover distribution.
+        floors = [int(q) for q in quotas]
+        residue = leftover - sum(floors)
+        order = sorted(
+            range(len(sizes)), key=lambda d: floors[d] - quotas[d]
+        )
+        for d in order[:residue]:
+            floors[d] += 1
+        max_quanta = budget
+        for d in range(len(sizes)):
+            sizes[d] = min(sizes[d] + floors[d], max_quanta)
+    _ensure_minimum_quanta(problem, sizes, budget, curves)
+    return {
+        vc.vc_id: sizes[i] * problem.quantum for i, vc in enumerate(problem.vcs)
+    }

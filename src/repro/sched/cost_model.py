@@ -1,0 +1,157 @@
+"""The analytical cost model of Sec IV-A (Eqs 1 and 2).
+
+Total memory access latency splits into:
+
+* **off-chip** (Eq 1): ``sum_{t,d} a_{t,d} * M_d(s_d) * MemLatency`` —
+  every miss pays the (placement-independent) memory latency;
+* **on-chip** (Eq 2): ``sum_{t,b} alpha_{t,b} * D(c_t, b)`` — every LLC
+  access pays the network distance to the bank serving it, where
+  ``alpha_{t,b}`` spreads thread t's accesses across banks in proportion
+  to each VC's per-bank capacity (the VTB hashing property).
+
+The same functions also build the *latency curves* allocation optimizes
+over (Fig 5): off-chip falls with capacity, on-chip rises, and the sweet
+spot minimizes the sum.  Before placement is known, the on-chip term uses
+the **optimistic** compact placement around the chip center (Fig 6).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.cache.miss_curve import MissCurve
+from repro.geometry.mesh import Topology
+from repro.geometry.placement_math import compact_mean_distance
+from repro.sched.problem import PlacementProblem, PlacementSolution
+
+
+def round_trip_cycles_per_hop(problem: PlacementProblem) -> float:
+    """Cost of one hop of distance, counted both ways (request + response)."""
+    return 2.0 * problem.config.noc.hop_latency
+
+
+def off_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
+    """Eq 1: total off-chip latency (access-rate units x cycles)."""
+    total = 0.0
+    for vc in problem.vcs:
+        size = solution.vc_sizes.get(vc.vc_id, 0.0)
+        accessors = problem.accessors_of(vc.vc_id)
+        rate = sum(accessors.values())
+        if rate <= 0:
+            continue
+        miss_fraction = min(float(vc.miss_curve(size)), rate) / rate
+        total += rate * miss_fraction * problem.mem_latency
+    return total
+
+
+def on_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
+    """Eq 2: total on-chip (L2 <-> LLC) latency under a placement."""
+    per_hop = round_trip_cycles_per_hop(problem)
+    dist = problem.topology.distance_matrix
+    total = 0.0
+    for vc in problem.vcs:
+        per_bank = solution.vc_allocation.get(vc.vc_id, {})
+        size = sum(per_bank.values())
+        if size <= 0:
+            continue
+        accessors = problem.accessors_of(vc.vc_id)
+        for thread_id, rate in accessors.items():
+            core = solution.thread_cores[thread_id]
+            for bank, cap in per_bank.items():
+                total += rate * (cap / size) * dist[core, bank] * per_hop
+    return total
+
+
+def total_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
+    """The objective CDCS minimizes: Eq 1 + Eq 2."""
+    return off_chip_latency(problem, solution) + on_chip_latency(problem, solution)
+
+
+def vc_mean_distance(
+    problem: PlacementProblem,
+    solution: PlacementSolution,
+    vc_id: int,
+) -> float:
+    """Access-weighted average hops between a VC's accessors and its data
+    (the D(VC, b) aggregate used when valuing trades, Sec IV-F)."""
+    vc = problem.vc_by_id(vc_id)
+    per_bank = solution.vc_allocation.get(vc_id, {})
+    size = sum(per_bank.values())
+    accessors = problem.accessors_of(vc_id)
+    rate = sum(accessors.values())
+    if size <= 0 or rate <= 0:
+        return 0.0
+    dist = problem.topology.distance_matrix
+    acc = 0.0
+    for thread_id, r in accessors.items():
+        core = solution.thread_cores[thread_id]
+        for bank, cap in per_bank.items():
+            acc += (r / rate) * (cap / size) * dist[core, bank]
+    return float(acc)
+
+
+# ---------------------------------------------------------------------------
+# Latency curves for allocation (Sec IV-C)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=64)
+def _optimistic_distance_table(
+    topology: Topology, bank_bytes: int, quantum: int
+) -> np.ndarray:
+    """Mean hops of a compact center placement, per allocation size.
+
+    Entry q is the average access distance of a VC of ``q`` quanta placed
+    compactly around the chip's center tile (Fig 6).  Cached per topology:
+    every VC shares the table.
+    """
+    center = topology.center_tile()
+    max_quanta = topology.tiles * (bank_bytes // quantum)
+    table = np.zeros(max_quanta + 1, dtype=np.float64)
+    for q in range(1, max_quanta + 1):
+        size_banks = q * quantum / bank_bytes
+        table[q] = compact_mean_distance(topology, center, size_banks)
+    return table
+
+
+def optimistic_on_chip_curve(problem: PlacementProblem) -> np.ndarray:
+    """Per-quantum optimistic on-chip hop distances for this chip."""
+    return _optimistic_distance_table(
+        problem.topology, problem.bank_bytes, problem.quantum
+    )
+
+
+def latency_curve(
+    problem: PlacementProblem,
+    miss_curve: MissCurve,
+    access_rate: float,
+) -> np.ndarray:
+    """Total-latency curve of one VC, indexed by allocated quanta.
+
+    ``L(q) = MemLat * misses(q) + per_hop * access_rate * dist_opt(q)``
+    (Fig 5).  Allocation minimizes the sum of these over VCs.  The distance
+    term uses the optimistic table; Sec IV-C notes this underestimates
+    contention, which the later steps correct.
+    """
+    if access_rate < 0:
+        raise ValueError("access rate cannot be negative")
+    dist = optimistic_on_chip_curve(problem)
+    quanta = np.arange(len(dist), dtype=np.float64)
+    sizes = quanta * problem.quantum
+    misses = np.minimum(np.asarray(miss_curve(sizes)), access_rate)
+    per_hop = round_trip_cycles_per_hop(problem)
+    return problem.mem_latency * misses + per_hop * access_rate * dist
+
+
+def miss_only_curve(
+    problem: PlacementProblem,
+    miss_curve: MissCurve,
+    access_rate: float,
+) -> np.ndarray:
+    """Off-chip-only latency curve (what Jigsaw's allocator optimizes)."""
+    max_quanta = problem.total_bytes // problem.quantum
+    sizes = np.arange(max_quanta + 1, dtype=np.float64) * problem.quantum
+    misses = np.minimum(np.asarray(miss_curve(sizes)), access_rate)
+    return problem.mem_latency * misses

@@ -1,0 +1,43 @@
+"""Operation accounting for the reconfiguration runtime (Table 3).
+
+The paper reports the software runtime of each reconfiguration step in
+Mcycles on the simulated chip.  We count the dominant primitive operations
+of each step (hull walks, bank scans, trade evaluations, ...) and convert
+them to cycles with a fixed cycles-per-operation constant — the steps'
+*scaling* with threads and tiles (linear vs quadratic) is what Table 3 is
+about, and op counts capture it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cycles charged per counted primitive operation.  Each counted op is a
+#: composite step (a candidate-bank contention evaluation, a trade valuation,
+#: a hull-segment pop): several dependent, cache-missing memory references
+#: plus arithmetic on the runtime core.  500 cycles/op lands the 64-thread /
+#: 64-tile runtime in the paper's range (6.49 Mcycles total); the *ratios*
+#: between configurations come from the measured operation counts.
+CYCLES_PER_OP = 500.0
+
+
+@dataclass
+class StepCounter:
+    """Mutable op counters, one per reconfiguration step."""
+
+    ops: dict[str, int] = field(default_factory=dict)
+
+    def add(self, step: str, count: int = 1) -> None:
+        self.ops[step] = self.ops.get(step, 0) + count
+
+    def cycles(self, step: str) -> float:
+        return self.ops.get(step, 0) * CYCLES_PER_OP
+
+    def total_cycles(self) -> float:
+        return sum(self.ops.values()) * CYCLES_PER_OP
+
+    def merged(self, other: "StepCounter") -> "StepCounter":
+        out = StepCounter(dict(self.ops))
+        for step, count in other.ops.items():
+            out.ops[step] = out.ops.get(step, 0) + count
+        return out

@@ -1,0 +1,128 @@
+"""The periodic reconfiguration pipeline (Fig 4).
+
+``reconfigure(problem, policy)`` runs the four steps of Sec IV-B:
+
+1. latency-aware capacity allocation          (Sec IV-C)
+2. optimistic contention-aware VC placement   (Sec IV-D)
+3. thread placement                           (Sec IV-E)
+4. refined VC placement (greedy + trades)     (Sec IV-F)
+
+:class:`ReconfigPolicy` toggles each CDCS ingredient independently, which
+is exactly the factor analysis of Fig 12: Jigsaw+R is all toggles off with
+random external thread placement; +L enables latency-aware allocation; +T
+enables thread placement; +D enables trade refinement; +LTD is CDCS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.sched.allocation import allocate_latency_aware, allocate_miss_driven
+from repro.sched.opcount import StepCounter
+from repro.sched.problem import PlacementProblem, PlacementSolution
+from repro.sched.refinement import refined_placement
+from repro.sched.thread_placement import place_threads
+from repro.sched.vc_placement import place_optimistic
+
+
+@dataclass(frozen=True)
+class ReconfigPolicy:
+    """Which CDCS ingredients are active."""
+
+    latency_aware_allocation: bool = True
+    place_threads: bool = True
+    trade_refinement: bool = True
+
+    @staticmethod
+    def cdcs() -> "ReconfigPolicy":
+        return ReconfigPolicy(True, True, True)
+
+    @staticmethod
+    def jigsaw() -> "ReconfigPolicy":
+        """Jigsaw's runtime: miss-driven sizing, external thread placement,
+        greedy-only data placement (Sec IV: "Jigsaw uses a simple runtime
+        that sizes VCs obliviously to their latency, places them greedily,
+        and does not place threads")."""
+        return ReconfigPolicy(False, False, False)
+
+    def label(self) -> str:
+        parts = []
+        if self.latency_aware_allocation:
+            parts.append("L")
+        if self.place_threads:
+            parts.append("T")
+        if self.trade_refinement:
+            parts.append("D")
+        return "+" + "".join(parts) if parts else "base"
+
+
+@dataclass
+class ReconfigResult:
+    """A solution plus per-step accounting (Table 3)."""
+
+    solution: PlacementSolution
+    counter: StepCounter
+    wall_seconds: dict[str, float] = field(default_factory=dict)
+
+    def step_cycles(self) -> dict[str, float]:
+        return {
+            step: self.counter.cycles(step)
+            for step in ("allocation", "vc_placement", "thread_placement",
+                         "data_placement")
+        }
+
+
+def reconfigure(
+    problem: PlacementProblem,
+    policy: ReconfigPolicy | None = None,
+    external_thread_cores: dict[int, int] | None = None,
+) -> ReconfigResult:
+    """Run one full reconfiguration.
+
+    If the policy does not place threads, *external_thread_cores* must give
+    the fixed assignment (Jigsaw's clustered/random schedulers).
+    """
+    policy = policy or ReconfigPolicy.cdcs()
+    counter = StepCounter()
+    wall: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    if policy.latency_aware_allocation:
+        sizes = allocate_latency_aware(problem, counter)
+    else:
+        sizes = allocate_miss_driven(problem, counter)
+    wall["allocation"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    optimistic = place_optimistic(problem, sizes, counter)
+    wall["vc_placement"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if policy.place_threads:
+        thread_cores = place_threads(problem, sizes, optimistic, counter)
+    else:
+        if external_thread_cores is None:
+            raise ValueError(
+                "policy does not place threads; provide external_thread_cores"
+            )
+        missing = {t.thread_id for t in problem.threads} - set(
+            external_thread_cores
+        )
+        if missing:
+            raise ValueError(f"external placement misses threads {sorted(missing)}")
+        thread_cores = dict(external_thread_cores)
+    wall["thread_placement"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    allocation = refined_placement(
+        problem, sizes, thread_cores, counter, trades=policy.trade_refinement
+    )
+    wall["data_placement"] = time.perf_counter() - t0
+
+    solution = PlacementSolution(
+        vc_sizes={vc_id: sum(per.values()) for vc_id, per in allocation.items()},
+        vc_allocation=allocation,
+        thread_cores=thread_cores,
+    )
+    return ReconfigResult(solution, counter, wall)

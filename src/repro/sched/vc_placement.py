@@ -1,0 +1,84 @@
+"""Optimistic contention-aware VC placement (Sec IV-D, Fig 7).
+
+Once VC sizes are known, this step sketches where data should live so that
+thread placement (the next step) can see, e.g., that two large VCs must not
+sit in adjacent corners.  VCs are placed **largest first**; each one scans
+every bank as a candidate center, scores it by the *claimed capacity* under
+its compact footprint (capacity constraints relaxed — banks may be claimed
+beyond their size), and settles around the least-contended center.
+
+The result is deliberately rough: it exists to expose capacity contention,
+not to be the final placement (which step 4 refines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.placement_math import (
+    center_of_mass,
+    compact_placement,
+    placement_mean_distance,
+)
+from repro.sched.opcount import StepCounter
+from repro.sched.problem import PlacementProblem
+
+
+@dataclass
+class OptimisticPlacement:
+    """Output of the optimistic step: rough footprints and their centers."""
+
+    #: vc_id -> {bank -> bytes} (footprints may overlap across VCs).
+    footprints: dict[int, dict[int, float]]
+    #: vc_id -> center bank chosen.
+    centers: dict[int, int]
+    #: vc_id -> fractional (x, y) center of mass of the footprint.
+    centroids: dict[int, tuple[float, ...]]
+    #: Final claimed-capacity tally, in banks (diagnostics/tests).
+    claimed: np.ndarray
+
+
+def place_optimistic(
+    problem: PlacementProblem,
+    vc_sizes: dict[int, float],
+    counter: StepCounter | None = None,
+) -> OptimisticPlacement:
+    """Run the Sec IV-D placement for all VCs with non-zero size."""
+    counter = counter if counter is not None else StepCounter()
+    topo = problem.topology
+    bank_bytes = problem.bank_bytes
+    claimed = np.zeros(topo.tiles, dtype=np.float64)
+    footprints: dict[int, dict[int, float]] = {}
+    centers: dict[int, int] = {}
+    centroids: dict[int, tuple[float, ...]] = {}
+
+    order = sorted(
+        (vc for vc in problem.vcs if vc_sizes.get(vc.vc_id, 0.0) > 0),
+        key=lambda vc: (-vc_sizes[vc.vc_id], vc.vc_id),
+    )
+    for vc in order:
+        size_banks = vc_sizes[vc.vc_id] / bank_bytes
+        best_bank = -1
+        best_key: tuple[float, float] | None = None
+        for candidate in range(topo.tiles):
+            window = compact_placement(topo, candidate, size_banks)
+            contention = sum(frac * claimed[t] for t, frac in window.items())
+            # Tie-break toward geometrically compact windows (edge/corner
+            # centers spread the same capacity over longer distances).
+            spread = placement_mean_distance(topo, candidate, window)
+            counter.add("vc_placement", len(window))
+            key = (round(contention, 9), spread)
+            if best_key is None or key < best_key or (
+                key == best_key and candidate < best_bank
+            ):
+                best_key = key
+                best_bank = candidate
+        window = compact_placement(topo, best_bank, size_banks)
+        for t, frac in window.items():
+            claimed[t] += frac
+        footprints[vc.vc_id] = {t: frac * bank_bytes for t, frac in window.items()}
+        centers[vc.vc_id] = best_bank
+        centroids[vc.vc_id] = center_of_mass(topo, window)
+    return OptimisticPlacement(footprints, centers, centroids, claimed)

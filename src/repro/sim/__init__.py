@@ -1,0 +1,32 @@
+"""Trace-driven simulator: distributed LLC with demand moves, background /
+bulk invalidations, and windowed IPC traces (Figs 10, 17, 18)."""
+
+from repro.sim.engine import SimThread, TraceSimulator, weighted_round_robin
+from repro.sim.llc import AccessResult, DistributedLLC, LLCStats
+from repro.sim.reconfig import (
+    BackgroundInvalidations,
+    BulkInvalidations,
+    InstantMoves,
+    MovementProtocol,
+    ReconfigEvents,
+)
+from repro.sim.setup import build_trace_simulation, scale_solution, scaled_profile
+from repro.sim.stats import WindowedIpc
+
+__all__ = [
+    "AccessResult",
+    "BackgroundInvalidations",
+    "BulkInvalidations",
+    "DistributedLLC",
+    "InstantMoves",
+    "LLCStats",
+    "MovementProtocol",
+    "ReconfigEvents",
+    "SimThread",
+    "TraceSimulator",
+    "WindowedIpc",
+    "build_trace_simulation",
+    "scale_solution",
+    "scaled_profile",
+    "weighted_round_robin",
+]

@@ -1,0 +1,185 @@
+"""The trace-driven simulation engine.
+
+Event-driven at LLC-access granularity: each thread alternates compute
+phases (instructions at base CPI) with LLC accesses served by the
+:class:`~repro.sim.llc.DistributedLLC`; a heap orders threads and timer
+callbacks (background-invalidation walker steps, reconfigurations) by
+time.  Aggregate IPC is recorded in fixed windows — the Fig 17 trace.
+
+Reconfigurations are scheduled with a movement protocol (sim.reconfig);
+bulk invalidations impose a global pause, background invalidations run as
+timer callbacks while cores keep executing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cache.monitor import UMon
+from repro.config import SystemConfig
+from repro.geometry.mesh import Topology
+from repro.sched.problem import PlacementSolution
+from repro.sim.llc import DistributedLLC
+from repro.sim.reconfig import MovementProtocol
+from repro.sim.stats import WindowedIpc
+from repro.workloads.generator import StackDistanceStream
+
+
+def weighted_round_robin(weights: dict[int, float]) -> Callable[[], int]:
+    """Deterministic weighted interleaving of VC ids (no RNG, so traces are
+    exactly reproducible): classic largest-accumulated-credit scheduling."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("picker needs positive total weight")
+    norm = {k: w / total for k, w in weights.items() if w > 0}
+    credit = {k: 0.0 for k in norm}
+
+    def pick() -> int:
+        for k, w in norm.items():
+            credit[k] += w
+        best = max(sorted(credit), key=lambda k: credit[k])
+        credit[best] -= 1.0
+        return best
+
+    return pick
+
+
+@dataclass
+class SimThread:
+    """One running thread: compute/access alternation state."""
+
+    thread_id: int
+    core: int
+    base_cpi: float
+    apki: float
+    streams: dict[int, StackDistanceStream]
+    picker: Callable[[], int]
+    write_fraction: float = 0.3
+    time: float = 0.0
+    instructions: float = 0.0
+    accesses: int = 0
+
+    @property
+    def instructions_per_access(self) -> float:
+        return 1000.0 / self.apki
+
+    def ipc(self) -> float:
+        return self.instructions / self.time if self.time > 0 else 0.0
+
+
+class TraceSimulator:
+    """Drives threads against a configured :class:`DistributedLLC`."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        topology: Topology,
+        llc: DistributedLLC,
+        window_cycles: float = 10_000.0,
+    ):
+        self.config = config
+        self.topology = topology
+        self.llc = llc
+        self.ipc_trace = WindowedIpc(window_cycles)
+        self.threads: list[SimThread] = []
+        self.pause_until = 0.0
+        self._heap: list[tuple[float, int, int, Callable | None]] = []
+        self._seq = itertools.count()
+        self._monitors: dict[int, UMon] = {}
+        self._write_credit: dict[int, float] = {}
+
+    # -- setup ----------------------------------------------------------------
+
+    def add_thread(
+        self,
+        thread_id: int,
+        core: int,
+        base_cpi: float,
+        apki: float,
+        streams: dict[int, StackDistanceStream],
+        weights: dict[int, float],
+        write_fraction: float = 0.3,
+    ) -> SimThread:
+        """Register a thread; *streams*/*weights* are keyed by VC id."""
+        thread = SimThread(
+            thread_id=thread_id,
+            core=core,
+            base_cpi=base_cpi,
+            apki=apki,
+            streams=streams,
+            picker=weighted_round_robin(weights),
+            write_fraction=write_fraction,
+        )
+        self.threads.append(thread)
+        self._write_credit[thread_id] = 0.0
+        heapq.heappush(self._heap, (0.0, next(self._seq), len(self.threads) - 1, None))
+        return thread
+
+    def attach_monitor(self, vc_id: int, monitor: UMon) -> None:
+        """Sample this VC's accesses into a UMON/GMON (the Sec IV-G loop)."""
+        self._monitors[vc_id] = monitor
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), -1, callback))
+
+    def schedule_reconfiguration(
+        self,
+        time: float,
+        solution: PlacementSolution,
+        protocol: MovementProtocol,
+    ) -> None:
+        def fire() -> None:
+            events = protocol.apply(self.llc, solution, time)
+            if events.pause_until > self.pause_until:
+                self.pause_until = events.pause_until
+            for t, cb in events.timers:
+                self.schedule(t, cb)
+
+        self.schedule(time, fire)
+
+    # -- run ------------------------------------------------------------------
+
+    def _step_thread(self, idx: int) -> None:
+        thread = self.threads[idx]
+        if thread.time < self.pause_until:
+            thread.time = self.pause_until  # bulk-invalidation stall
+        # Compute phase.
+        thread.time += thread.instructions_per_access * thread.base_cpi
+        thread.instructions += thread.instructions_per_access
+        self.ipc_trace.record(thread.time, thread.instructions_per_access)
+        # Access phase.
+        vc_id = thread.picker()
+        addr = thread.streams[vc_id].next_address()
+        monitor = self._monitors.get(vc_id)
+        if monitor is not None:
+            monitor.access(addr)
+        self._write_credit[thread.thread_id] += thread.write_fraction
+        write = self._write_credit[thread.thread_id] >= 1.0
+        if write:
+            self._write_credit[thread.thread_id] -= 1.0
+        result = self.llc.access(thread.core, vc_id, addr, write)
+        core_cfg = self.config.core
+        exposed = (
+            result.onchip_latency / core_cfg.mlp_onchip
+            + result.offchip_latency / core_cfg.mlp_offchip
+        )
+        thread.time += exposed
+        thread.accesses += 1
+        heapq.heappush(
+            self._heap, (thread.time, next(self._seq), idx, None)
+        )
+
+    def run_until(self, t_end: float) -> None:
+        """Advance the simulation until every event before *t_end* ran."""
+        while self._heap and self._heap[0][0] < t_end:
+            time, _, idx, callback = heapq.heappop(self._heap)
+            if callback is not None:
+                callback()
+            else:
+                self._step_thread(idx)
+
+    def aggregate_ipc(self, t0: float = 0.0, t1: float = float("inf")) -> float:
+        return self.ipc_trace.mean_ipc(t0, t1)

@@ -1,0 +1,264 @@
+"""The distributed LLC of the trace-driven simulator.
+
+Implements the access path of Fig 3 right: VTB lookup -> route to the bank
+and bank partition -> hit/serve or miss -> memory, with per-access latency
+from the NoC model and the DRAM model.  During reconfigurations the shadow
+descriptors are active and misses in a line's *new* bank are forwarded to
+its *old* bank — the demand-move protocol of Fig 10.
+
+Partition ids within a bank are simply VC ids (each VC owns at most one
+partition per bank, Sec III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.bank import PartitionedBank
+from repro.config import SystemConfig
+from repro.geometry.mesh import Topology
+from repro.mem.controller import MemoryControllers
+from repro.mem.dram import DramModel
+from repro.noc.traffic import TrafficClass, TrafficCounter
+from repro.sched.problem import PlacementSolution
+from repro.util.units import CACHE_LINE_BYTES
+from repro.vcache.descriptor import VCDescriptor, build_descriptor
+from repro.vcache.vtb import VTB
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one LLC access."""
+
+    latency: float
+    hit: bool
+    #: True if the line was served by a demand move from its old bank.
+    demand_move: bool = False
+    bank: int = -1
+    #: Latency split for the core's exposure model (on-chip = network +
+    #: bank lookups; off-chip = DRAM round trip, zero on hits).
+    onchip_latency: float = 0.0
+    offchip_latency: float = 0.0
+
+
+@dataclass
+class LLCStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    demand_moves: int = 0
+    background_invalidations: int = 0
+    bulk_invalidations: int = 0
+
+
+class DistributedLLC:
+    """All banks + the (logically per-tile, physically shared) VTB state."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        topology: Topology,
+        capacity_scale: int = 1,
+        dram_extra_latency: float = 0.0,
+    ):
+        """*capacity_scale* shrinks every bank by that factor (set-sampling
+        style) so trace experiments run at tractable footprints; workload
+        streams must be scaled by the same factor (see
+        ``workloads.scaled_profile``)."""
+        if capacity_scale < 1:
+            raise ValueError("capacity scale must be >= 1")
+        self.config = config
+        self.topology = topology
+        self.capacity_scale = capacity_scale
+        bank_lines = max(
+            config.cache.bank_bytes // CACHE_LINE_BYTES // capacity_scale, 1
+        )
+        self.bank_lines = bank_lines
+        self.banks = [
+            PartitionedBank(b, bank_lines) for b in range(topology.tiles)
+        ]
+        self.vtb = VTB(max_entries=1 << 22)  # one logical map for all tiles
+        self.controllers = MemoryControllers(topology, config.memory)  # type: ignore[arg-type]
+        self.dram = DramModel(config.memory)
+        self.dram_extra_latency = dram_extra_latency
+        self.traffic = TrafficCounter(config.noc)
+        self.stats = LLCStats()
+
+    # -- configuration -------------------------------------------------------
+
+    def _quotas_from_solution(
+        self, solution: PlacementSolution
+    ) -> dict[int, dict[int, int]]:
+        """bank -> {vc_id -> quota_lines}, scaled, largest-remainder fitted."""
+        per_bank: dict[int, dict[int, float]] = {}
+        for vc_id, alloc in solution.vc_allocation.items():
+            for bank, size in alloc.items():
+                if size <= 0:
+                    continue
+                per_bank.setdefault(bank, {})[vc_id] = (
+                    size / CACHE_LINE_BYTES / self.capacity_scale
+                )
+        quotas: dict[int, dict[int, int]] = {}
+        for bank, wants in per_bank.items():
+            total = sum(wants.values())
+            scale = min(1.0, self.bank_lines / total) if total > 0 else 1.0
+            floors = {vc: int(w * scale) for vc, w in wants.items()}
+            leftover = self.bank_lines - sum(floors.values())
+            order = sorted(
+                wants, key=lambda vc: floors[vc] - wants[vc] * scale
+            )
+            for vc in order[: max(0, min(leftover, len(order)))]:
+                floors[vc] += 1
+            quotas[bank] = {vc: q for vc, q in floors.items() if q > 0}
+        return quotas
+
+    def _descriptors(
+        self, solution: PlacementSolution
+    ) -> dict[int, VCDescriptor]:
+        out = {}
+        buckets = self.config.scheduler.descriptor_buckets
+        for vc_id, alloc in solution.vc_allocation.items():
+            positive = {b: v for b, v in alloc.items() if v > 0}
+            if not positive:
+                continue
+            out[vc_id] = build_descriptor(
+                positive,
+                {b: vc_id for b in positive},
+                num_buckets=buckets,
+                hash_seed=1,
+            )
+        return out
+
+    def configure(self, solution: PlacementSolution) -> None:
+        """Install a configuration from scratch (initial setup)."""
+        for bank, vc_quotas in self._quotas_from_solution(solution).items():
+            for vc_id, quota in vc_quotas.items():
+                self.banks[bank].configure_partition(vc_id, quota)
+        for vc_id, desc in self._descriptors(solution).items():
+            self.vtb.install(vc_id, desc)
+
+    def prepare_reconfiguration(
+        self, solution: PlacementSolution
+    ) -> dict[int, VCDescriptor]:
+        """Resize partitions and swap descriptors into shadows (the IPI-
+        coordinated update of Sec III).  Returns the new descriptors; the
+        caller chooses the data-movement protocol (sim.reconfig)."""
+        descriptors = self._descriptors(solution)
+        quotas = self._quotas_from_solution(solution)
+        for bank in self.banks:
+            new_quotas = quotas.get(bank.bank_id, {})
+            # Shrink/retire first (lazily: resident lines drain via demand
+            # moves and invalidations), then grow, so the bank-capacity
+            # invariant holds at every intermediate step.
+            for pid in bank.partition_ids():
+                target = new_quotas.get(pid, 0)
+                if target < bank.quota(pid):
+                    bank.configure_partition(pid, target, lazy=True)
+            for vc_id, quota in new_quotas.items():
+                if quota > bank.quota(vc_id):
+                    bank.configure_partition(vc_id, quota, lazy=True)
+        for vc_id, desc in descriptors.items():
+            self.vtb.begin_reconfiguration(vc_id, desc)
+        return descriptors
+
+    def finish_reconfiguration(self) -> None:
+        for vc_id in self.vtb.mapped_vcs():
+            self.vtb.end_reconfiguration(vc_id)
+
+    # -- access path ---------------------------------------------------------
+
+    def _noc_cycles(self, a: int, b: int) -> float:
+        return self.topology.distance(a, b) * self.config.noc.hop_latency
+
+    def access(
+        self, core_tile: int, vc_id: int, line_addr: int, write: bool = False
+    ) -> AccessResult:
+        """One LLC access from *core_tile*; returns latency and outcome.
+
+        Latency components: round trip core<->bank, bank lookup(s),
+        demand-move forwarding (during reconfigurations), and the DRAM
+        round trip on a true miss.
+        """
+        self.stats.accesses += 1
+        lookup = self.vtb.lookup(vc_id, line_addr)
+        bank_id = lookup.target.bank
+        bank = self.banks[bank_id]
+        bank_lat = self.config.cache.bank_latency
+        latency = 2.0 * self._noc_cycles(core_tile, bank_id) + bank_lat
+        self.traffic.add_request_response(
+            TrafficClass.L2_LLC,
+            self.topology.distance(core_tile, bank_id),
+            CACHE_LINE_BYTES,
+        )
+
+        if bank.access(line_addr, lookup.target.partition, write):
+            self.stats.hits += 1
+            return AccessResult(
+                latency,
+                hit=True,
+                bank=bank_id,
+                onchip_latency=latency,
+            )
+
+        # Miss in the (new) bank.  During a reconfiguration, forward to the
+        # old location first (Fig 10a): a hit there is a demand move.
+        if lookup.moved:
+            old = lookup.old_target
+            old_bank = self.banks[old.bank]
+            hops_fwd = self.topology.distance(bank_id, old.bank)
+            latency += 2.0 * hops_fwd * self.config.noc.hop_latency + bank_lat
+            self.traffic.add_request_response(
+                TrafficClass.OTHER, hops_fwd, CACHE_LINE_BYTES
+            )
+            dirty = old_bank.extract(line_addr, old.partition)
+            if dirty is not None:
+                bank.fill(line_addr, lookup.target.partition, dirty or write)
+                self.stats.demand_moves += 1
+                self.stats.hits += 1
+                return AccessResult(
+                    latency,
+                    hit=True,
+                    demand_move=True,
+                    bank=bank_id,
+                    onchip_latency=latency,
+                )
+
+        # True miss: fetch from the line's memory controller (Fig 10b).
+        self.stats.misses += 1
+        onchip = latency
+        mc_tile = self.controllers.controller_for(line_addr)
+        mc_hops = self.topology.distance(bank_id, mc_tile)
+        offchip = (
+            2.0 * mc_hops * self.config.noc.hop_latency
+            + self.config.memory.zero_load_latency
+            + self.dram_extra_latency
+        )
+        latency += offchip
+        self.traffic.add_request_response(
+            TrafficClass.LLC_MEM, mc_hops, CACHE_LINE_BYTES
+        )
+        bank.access(line_addr, lookup.target.partition, write)  # fill
+        return AccessResult(
+            latency,
+            hit=False,
+            bank=bank_id,
+            onchip_latency=onchip,
+            offchip_latency=offchip,
+        )
+
+    # -- invariants (used by tests) -------------------------------------------
+
+    def total_occupancy(self) -> int:
+        return sum(bank.occupancy() for bank in self.banks)
+
+    def check_single_residency(self) -> bool:
+        """No line may be resident in two banks (the shared-baseline
+        invariant demand moves must preserve)."""
+        seen: set[tuple[int, int]] = set()
+        for bank in self.banks:
+            for pid, addr in bank.all_lines():
+                key = (pid, addr)
+                if key in seen:
+                    return False
+                seen.add(key)
+        return True

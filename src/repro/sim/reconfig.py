@@ -1,0 +1,191 @@
+"""Data-movement protocols for reconfigurations (Sec IV-H, Figs 10/17).
+
+Three ways to get lines from their old banks to their new ones:
+
+* :class:`InstantMoves` — idealized: every resident line teleports to its
+  new location at reconfiguration time.  Upper bound (Fig 17's top line).
+* :class:`BulkInvalidations` — Jigsaw's approach: pause all cores while
+  every bank walks its array and invalidates lines whose location changed.
+  Cheap hardware, but a global pause of ~100 Kcycles and cold misses after.
+* :class:`BackgroundInvalidations` — CDCS: no pause.  Shadow descriptors
+  serve demand moves immediately; after a grace period, banks walk their
+  arrays in the background, invalidating moved lines at a slow rate, and
+  the shadow descriptors retire when the walk completes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.sched.problem import PlacementSolution
+from repro.sim.llc import DistributedLLC
+
+
+@dataclass
+class ReconfigEvents:
+    """What the engine must schedule after initiating a reconfiguration."""
+
+    #: Cores may not issue until this absolute time (bulk pause); 0 = none.
+    pause_until: float = 0.0
+    #: (time, callback) pairs the engine runs at the given absolute times.
+    timers: list[tuple[float, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.timers is None:
+            self.timers = []
+
+
+class MovementProtocol(ABC):
+    """Strategy interface: apply a new placement to a running LLC."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def apply(
+        self, llc: DistributedLLC, solution: PlacementSolution, now: float
+    ) -> ReconfigEvents:
+        """Initiate the reconfiguration at time *now*."""
+
+
+def _moved_lines(llc: DistributedLLC) -> list[tuple[int, int, int]]:
+    """(bank, partition/vc, line) tuples whose location changed under the
+    currently-installed (new) descriptors."""
+    moved = []
+    for bank in llc.banks:
+        for vc_id, addr in bank.all_lines():
+            try:
+                lookup = llc.vtb.lookup(vc_id, addr)
+            except KeyError:
+                moved.append((bank.bank_id, vc_id, addr))
+                continue
+            if lookup.target.bank != bank.bank_id:
+                moved.append((bank.bank_id, vc_id, addr))
+    return moved
+
+
+class InstantMoves(MovementProtocol):
+    name = "instant"
+
+    def apply(
+        self, llc: DistributedLLC, solution: PlacementSolution, now: float
+    ) -> ReconfigEvents:
+        llc.prepare_reconfiguration(solution)
+        for bank_id, vc_id, addr in _moved_lines(llc):
+            dirty = llc.banks[bank_id].extract(addr, vc_id)
+            if dirty is None:
+                continue
+            lookup = llc.vtb.lookup(vc_id, addr)
+            target_bank = llc.banks[lookup.target.bank]
+            if target_bank.quota(lookup.target.partition) > 0:
+                target_bank.fill(addr, lookup.target.partition, dirty)
+        llc.finish_reconfiguration()
+        return ReconfigEvents()
+
+
+class BulkInvalidations(MovementProtocol):
+    """Jigsaw: pause, walk, invalidate (Sec IV-H).
+
+    *cycles_per_line* models the array-walk rate over the **unscaled**
+    array: every set is scanned whether or not the simulation models its
+    lines, so the pause reflects the real bank (paper: pauses average
+    ~114 Kcycles, up to 230 Kcycles).
+    """
+
+    name = "bulk-inv"
+
+    def __init__(self, cycles_per_line: float = 12.0):
+        self.cycles_per_line = cycles_per_line
+
+    def apply(
+        self, llc: DistributedLLC, solution: PlacementSolution, now: float
+    ) -> ReconfigEvents:
+        array_lines = llc.bank_lines * llc.capacity_scale
+        llc.prepare_reconfiguration(solution)
+        invalidated = 0
+        for bank_id, vc_id, addr in _moved_lines(llc):
+            if llc.banks[bank_id].invalidate(addr, vc_id):
+                invalidated += 1
+        llc.stats.bulk_invalidations += invalidated
+        llc.finish_reconfiguration()
+        pause = now + array_lines * self.cycles_per_line
+        return ReconfigEvents(pause_until=pause)
+
+
+class BackgroundInvalidations(MovementProtocol):
+    """CDCS: demand moves now, background walk later (Sec IV-H).
+
+    *grace_cycles* delays the walk so hot lines migrate via demand moves
+    first; *lines_per_step*/*step_cycles* set the walk rate (paper: one set
+    every 200 cycles finishes a bank in ~100 Kcycles).
+    """
+
+    name = "background-inv"
+
+    def __init__(
+        self,
+        grace_cycles: float = 50_000.0,
+        lines_per_step: int = 16,
+        step_cycles: float = 200.0,
+        scale_step_to_array: bool = True,
+    ):
+        """Defaults follow the paper: one 16-line set per 200 cycles, after
+        a 50 Kcycle grace period, finishing a bank in ~100 Kcycles.  With
+        *scale_step_to_array* (default), the step interval stretches by the
+        LLC's capacity scale so the walk still spans the real ~100 Kcycles
+        even when the simulation models 1/k of the lines."""
+        self.grace_cycles = grace_cycles
+        self.lines_per_step = lines_per_step
+        self.step_cycles = step_cycles
+        self.scale_step_to_array = scale_step_to_array
+
+    def apply(
+        self, llc: DistributedLLC, solution: PlacementSolution, now: float
+    ) -> ReconfigEvents:
+        step_cycles = self.step_cycles
+        if self.scale_step_to_array:
+            step_cycles *= llc.capacity_scale
+        llc.prepare_reconfiguration(solution)
+        events = ReconfigEvents()
+        start = now + self.grace_cycles
+        # Build per-bank walk schedules over the lines resident *now*;
+        # lines that demand-move before the walker reaches them are simply
+        # no longer present and cost the walker nothing.
+        walks: list[list[tuple[int, int, int]]] = []
+        max_steps = 0
+        for bank in llc.banks:
+            snapshot = [
+                (bank.bank_id, vc, addr) for vc, addr in bank.all_lines()
+            ]
+            walks.append(snapshot)
+            steps = (len(snapshot) + self.lines_per_step - 1) // self.lines_per_step
+            max_steps = max(max_steps, steps)
+
+        def make_step(step: int):
+            def run() -> None:
+                lo = step * self.lines_per_step
+                hi = lo + self.lines_per_step
+                for snapshot in walks:
+                    for bank_id, vc_id, addr in snapshot[lo:hi]:
+                        try:
+                            lookup = llc.vtb.lookup(vc_id, addr)
+                        except KeyError:
+                            moved = True
+                        else:
+                            moved = lookup.target.bank != bank_id
+                        if moved and llc.banks[bank_id].invalidate(addr, vc_id):
+                            llc.stats.background_invalidations += 1
+
+            return run
+
+        for step in range(max_steps):
+            events.timers.append(
+                (start + step * step_cycles, make_step(step))
+            )
+        events.timers.append(
+            (
+                start + max_steps * step_cycles,
+                llc.finish_reconfiguration,
+            )
+        )
+        return events

@@ -1,0 +1,131 @@
+"""Wiring helpers: build a ready-to-run trace simulation from a mix, a
+chip config, and a scheme's placement solution.
+
+Trace simulation at the paper's full scale (32 MB of live lines) is not
+tractable in pure Python, so simulations run **capacity-scaled**: every
+bank models ``1/scale`` of its lines and every workload's miss curve is
+shrunk by the same factor on the size axis — the hit/miss behavior per
+access is preserved exactly (LRU is scale-free in this transformation),
+only absolute footprints shrink.  DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import SystemConfig
+from repro.nuca.base import build_problem
+from repro.sched.problem import PlacementProblem, PlacementSolution
+from repro.sim.engine import TraceSimulator
+from repro.sim.llc import DistributedLLC
+from repro.workloads.generator import StackDistanceStream, suggested_footprint
+from repro.workloads.mixes import Mix
+from repro.workloads.profiles import AppProfile
+
+#: Address-space stride between VCs so streams never alias.
+_VC_ADDRESS_STRIDE = 1 << 34
+
+
+def scaled_profile(profile: AppProfile, scale: int) -> AppProfile:
+    """Shrink a profile's footprints by *scale* (for scaled trace sims)."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    if scale == 1:
+        return profile
+    return replace(
+        profile,
+        private_curve=profile.private_curve.scaled_sizes(1.0 / scale),
+        shared_curve=(
+            profile.shared_curve.scaled_sizes(1.0 / scale)
+            if profile.shared_curve is not None
+            else None
+        ),
+    )
+
+
+def scale_solution(solution: PlacementSolution, scale: int) -> PlacementSolution:
+    """Shrink a placement's capacities by *scale* (thread cores unchanged)."""
+    if scale == 1:
+        return solution
+    return PlacementSolution(
+        vc_sizes={vc: s / scale for vc, s in solution.vc_sizes.items()},
+        vc_allocation={
+            vc: {b: v / scale for b, v in per.items()}
+            for vc, per in solution.vc_allocation.items()
+        },
+        thread_cores=dict(solution.thread_cores),
+    )
+
+
+def build_trace_simulation(
+    mix: Mix,
+    config: SystemConfig,
+    solution: PlacementSolution,
+    problem: PlacementProblem | None = None,
+    capacity_scale: int = 8,
+    seed: int = 1,
+    window_cycles: float = 10_000.0,
+    dram_extra_latency: float = 0.0,
+) -> TraceSimulator:
+    """Instantiate banks, streams, and threads for one (mix, placement).
+
+    The returned simulator is configured with *solution* (scaled) and ready
+    for ``run_until``; reconfigurations can be scheduled on top.
+    """
+    problem = problem or build_problem(mix, config)
+    topo = problem.topology
+    llc = DistributedLLC(
+        config, topo, capacity_scale=capacity_scale,
+        dram_extra_latency=dram_extra_latency,
+    )
+    llc.configure(scale_solution(solution, capacity_scale))
+    sim = TraceSimulator(config, topo, llc, window_cycles=window_cycles)
+
+    # One shared stream per process VC (threads interleave into it), one
+    # private stream per thread.
+    shared_streams: dict[int, StackDistanceStream] = {}
+    for proc in mix.processes:
+        profile = scaled_profile(proc.profile, capacity_scale)
+        for thread_id in proc.thread_ids:
+            spec = next(
+                t for t in problem.threads if t.thread_id == thread_id
+            )
+            streams: dict[int, StackDistanceStream] = {}
+            weights: dict[int, float] = {}
+            for vc_id, rate in spec.vc_accesses.items():
+                if rate <= 0:
+                    continue
+                weights[vc_id] = rate
+                if vc_id == thread_id:  # thread-private VC
+                    curve = profile.private_curve
+                    apki = max(profile.private_apki, 1e-6)
+                    streams[vc_id] = StackDistanceStream(
+                        curve,
+                        apki=apki,
+                        footprint_bytes=suggested_footprint(curve, apki),
+                        address_base=(vc_id + 1) * _VC_ADDRESS_STRIDE,
+                        seed=seed,
+                    )
+                else:  # process-shared VC: one stream for the whole process
+                    if vc_id not in shared_streams:
+                        curve = profile.shared_curve.scaled(profile.threads)
+                        apki = max(profile.shared_apki * profile.threads, 1e-6)
+                        shared_streams[vc_id] = StackDistanceStream(
+                            curve,
+                            apki=apki,
+                            footprint_bytes=suggested_footprint(curve, apki),
+                            address_base=(vc_id + 1) * _VC_ADDRESS_STRIDE,
+                            seed=seed,
+                        )
+                    streams[vc_id] = shared_streams[vc_id]
+            core = solution.thread_cores[thread_id]
+            sim.add_thread(
+                thread_id=thread_id,
+                core=core,
+                base_cpi=profile.base_cpi,
+                apki=profile.llc_apki,
+                streams=streams,
+                weights=weights,
+                write_fraction=profile.write_fraction,
+            )
+    return sim

@@ -1,0 +1,48 @@
+"""Time-series statistics for the trace simulator (Fig 17's IPC trace)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WindowedIpc:
+    """Aggregate instructions retired per fixed-size time window."""
+
+    window_cycles: float = 10_000.0
+    _windows: dict[int, float] = field(default_factory=dict)
+
+    def record(self, time: float, instructions: float) -> None:
+        if time < 0:
+            raise ValueError("time cannot be negative")
+        self._windows[int(time // self.window_cycles)] = (
+            self._windows.get(int(time // self.window_cycles), 0.0)
+            + instructions
+        )
+
+    def trace(self) -> list[tuple[float, float]]:
+        """(window start cycle, aggregate IPC) pairs, time-ordered."""
+        return [
+            (idx * self.window_cycles, instrs / self.window_cycles)
+            for idx, instrs in sorted(self._windows.items())
+        ]
+
+    def mean_ipc(self, t0: float = 0.0, t1: float = float("inf")) -> float:
+        """Mean aggregate IPC over [t0, t1).
+
+        Windows with no retired instructions count as zero — a fully paused
+        chip (bulk invalidations) must show up as a dip, not a gap.
+        """
+        if not self._windows:
+            return 0.0
+        last = (max(self._windows) + 1) * self.window_cycles
+        end = min(t1, last)
+        first_idx = int(max(t0, 0.0) // self.window_cycles)
+        last_idx = int(end // self.window_cycles)
+        if last_idx <= first_idx:
+            return 0.0
+        total = sum(
+            self._windows.get(idx, 0.0)
+            for idx in range(first_idx, last_idx)
+        )
+        return total / ((last_idx - first_idx) * self.window_cycles)

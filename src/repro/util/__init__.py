@@ -1,0 +1,34 @@
+"""Shared utilities: unit constants, hash families, seeded RNG streams."""
+
+from repro.util.hashing import bucket_hash, mix64, sample_fraction, tag_hash16
+from repro.util.rng import child_rng, make_rng, spawn_seeds
+from repro.util.units import (
+    CACHE_LINE_BYTES,
+    CORE_CLOCK_HZ,
+    KB,
+    MB,
+    gbps_to_bytes_per_cycle,
+    kb,
+    lines,
+    mb,
+    ms_to_cycles,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "CORE_CLOCK_HZ",
+    "KB",
+    "MB",
+    "bucket_hash",
+    "child_rng",
+    "gbps_to_bytes_per_cycle",
+    "kb",
+    "lines",
+    "make_rng",
+    "mb",
+    "mix64",
+    "ms_to_cycles",
+    "sample_fraction",
+    "spawn_seeds",
+    "tag_hash16",
+]

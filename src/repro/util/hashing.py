@@ -1,0 +1,71 @@
+"""Hash functions used by the VTB, virtual-cache descriptors and monitors.
+
+The paper uses an H3-class universal hash to (a) spread line addresses across
+the buckets of a VC descriptor and (b) produce the 16-bit hashed tags stored
+in GMONs (Sec IV-G).  We implement a small family of deterministic integer
+mixers seeded by an index so that different hardware units (each VTB, each
+monitor) can use independent hash functions while staying reproducible.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+#: Odd 64-bit multipliers for the finalizer family (splitmix64-style).
+_MIXERS = (
+    0xBF58476D1CE4E5B9,
+    0x94D049BB133111EB,
+    0xFF51AFD7ED558CCD,
+    0xC4CEB9FE1A85EC53,
+    0x9E3779B97F4A7C15,
+    0xD6E8FEB86659FD93,
+    0xA5A5A5A5A5A5A5A5 | 1,
+    0x2545F4914F6CDD1D,
+)
+
+
+def mix64(value: int, seed: int = 0) -> int:
+    """Return a well-mixed 64-bit hash of *value*.
+
+    Deterministic, stateless, and avalanche-complete enough for address
+    spreading; the *seed* selects a member of the hash family.
+    """
+    x = (value + 0x9E3779B97F4A7C15 * (seed + 1)) & _MASK64
+    x ^= x >> 30
+    x = (x * _MIXERS[seed % len(_MIXERS)]) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIXERS[(seed + 1) % len(_MIXERS)]) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def bucket_hash(address: int, buckets: int, seed: int = 0) -> int:
+    """Map a line address to a descriptor bucket in ``[0, buckets)``.
+
+    This is the hash ``H`` in Fig 3: it selects which entry of the VC
+    descriptor array (and hence which bank/bank-partition) serves the line.
+    """
+    if buckets <= 0:
+        raise ValueError(f"bucket count must be positive, got {buckets}")
+    return mix64(address, seed) % buckets
+
+
+def tag_hash16(address: int, seed: int = 0) -> int:
+    """16-bit hashed tag stored in monitor arrays (GMONs store these instead
+    of full tags; rare false positives are fine for monitoring)."""
+    return mix64(address, seed) & 0xFFFF
+
+
+def sample_fraction(address: int, fraction: float, seed: int = 0) -> bool:
+    """Deterministically decide whether *address* falls in a sampled subset
+    of approximately *fraction* of the address space.
+
+    Used for monitor set-sampling (e.g. sampling every 64th access by hash
+    rather than by position, so the choice is unbiased).
+    """
+    if fraction >= 1.0:
+        return True
+    if fraction <= 0.0:
+        return False
+    threshold = int(fraction * (1 << 32))
+    return (mix64(address, seed) & 0xFFFFFFFF) < threshold

@@ -1,0 +1,31 @@
+"""Seeded random-number helpers.
+
+Every stochastic component (mix selection, synthetic address streams, the
+annealing placer) takes an explicit seed so experiments are reproducible;
+these helpers derive independent child streams from a root seed without the
+correlation pitfalls of reusing one generator everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Return a PCG64 generator seeded with *seed*."""
+    return np.random.default_rng(seed)
+
+
+def child_rng(seed: int, *stream_ids: int) -> np.random.Generator:
+    """Return a generator for an independent child stream.
+
+    ``child_rng(seed, mix_id, app_id)`` gives every (mix, app) pair its own
+    stream, so adding apps to a mix does not perturb the streams of others.
+    """
+    return np.random.default_rng(np.random.SeedSequence((seed, *stream_ids)))
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive *count* independent 32-bit seeds from *seed*."""
+    ss = np.random.SeedSequence(seed)
+    return [int(s) for s in ss.generate_state(count)]

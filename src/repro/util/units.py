@@ -1,0 +1,46 @@
+"""Size and timing unit constants used throughout the library.
+
+The paper (Table 2) expresses capacities in KB/MB, latencies in core cycles
+at 2 GHz, and bandwidth in GB/s.  All capacities inside the library are held
+in **bytes**, all times in **cycles**, and all rates in **bytes per cycle**,
+so these helpers exist to keep call sites readable.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+
+CACHE_LINE_BYTES = 64
+
+#: Core clock from Table 2; used to convert wall-clock periods into cycles.
+CORE_CLOCK_HZ = 2_000_000_000
+
+
+def kb(value: float) -> int:
+    """Return *value* kilobytes expressed in bytes."""
+    return int(value * KB)
+
+
+def mb(value: float) -> int:
+    """Return *value* megabytes expressed in bytes."""
+    return int(value * MB)
+
+
+def lines(capacity_bytes: float) -> int:
+    """Number of 64-byte cache lines in *capacity_bytes*."""
+    return int(capacity_bytes // CACHE_LINE_BYTES)
+
+
+def gbps_to_bytes_per_cycle(gbps: float, clock_hz: int = CORE_CLOCK_HZ) -> float:
+    """Convert a GB/s channel bandwidth into bytes per core cycle.
+
+    Table 2 gives 12.8 GB/s per memory channel; at 2 GHz that is 6.4 B/cycle.
+    """
+    return gbps * 1e9 / clock_hz
+
+
+def ms_to_cycles(milliseconds: float, clock_hz: int = CORE_CLOCK_HZ) -> int:
+    """Convert a wall-clock period (e.g. the 25 ms reconfiguration interval)
+    into core cycles."""
+    return int(milliseconds * 1e-3 * clock_hz)

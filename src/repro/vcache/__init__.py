@@ -1,0 +1,16 @@
+"""Virtual-cache layer: VCs, bucket descriptors, and the per-tile VTB."""
+
+from repro.vcache.descriptor import BucketTarget, VCDescriptor, build_descriptor
+from repro.vcache.virtual_cache import VCKind, VirtualCache
+from repro.vcache.vtb import VTB, VTBEntry, VTBLookup
+
+__all__ = [
+    "BucketTarget",
+    "VCDescriptor",
+    "VCKind",
+    "VTB",
+    "VTBEntry",
+    "VTBLookup",
+    "VirtualCache",
+    "build_descriptor",
+]

@@ -1,0 +1,98 @@
+"""VC descriptors: the bucket arrays that route accesses to banks.
+
+Fig 3: a VC descriptor is an array of N buckets (N = 64), each naming a
+(bank, bank-partition).  The line address is hashed to pick a bucket, so a
+bank holding k/N of the buckets receives k/N of the VC's accesses — which
+is how a set of bank partitions behaves as one cache of their aggregate
+size.  Bucket counts are apportioned from the placement by largest
+remainder, so rounding error is at most one bucket per bank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.util.hashing import bucket_hash
+
+
+@dataclass(frozen=True)
+class BucketTarget:
+    """Where one bucket points."""
+
+    bank: int
+    partition: int
+
+
+class VCDescriptor:
+    """An immutable bucket array for one VC configuration."""
+
+    def __init__(self, buckets: list[BucketTarget], hash_seed: int = 0):
+        if not buckets:
+            raise ValueError("descriptor needs at least one bucket")
+        self._buckets = tuple(buckets)
+        self._hash_seed = hash_seed
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+    def lookup(self, line_addr: int) -> BucketTarget:
+        """Bank/partition serving *line_addr* (the Fig 3 H-hash lookup)."""
+        idx = bucket_hash(line_addr, len(self._buckets), self._hash_seed)
+        return self._buckets[idx]
+
+    def bank_fractions(self) -> dict[int, float]:
+        """Fraction of buckets (= of accesses) pointing at each bank."""
+        counts: dict[int, int] = {}
+        for target in self._buckets:
+            counts[target.bank] = counts.get(target.bank, 0) + 1
+        n = len(self._buckets)
+        return {bank: c / n for bank, c in counts.items()}
+
+    def targets(self) -> tuple[BucketTarget, ...]:
+        return self._buckets
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VCDescriptor):
+            return NotImplemented
+        return self._buckets == other._buckets and self._hash_seed == other._hash_seed
+
+    def __hash__(self) -> int:
+        return hash((self._buckets, self._hash_seed))
+
+
+def build_descriptor(
+    allocation: Mapping[int, float],
+    partition_of_bank: Mapping[int, int],
+    num_buckets: int = 64,
+    hash_seed: int = 0,
+) -> VCDescriptor:
+    """Apportion *num_buckets* buckets across banks proportionally to
+    *allocation* (bytes per bank), largest-remainder rounding.
+
+    *partition_of_bank* gives the bank-partition id this VC owns in each
+    bank.  Banks with positive allocation are guaranteed at least the
+    rounding the remainder gives them; if the allocation is empty the
+    descriptor cannot be built (a VC with no capacity routes nowhere).
+    """
+    positive = {b: v for b, v in allocation.items() if v > 0}
+    if not positive:
+        raise ValueError("cannot build a descriptor for an empty allocation")
+    total = sum(positive.values())
+    quotas = {b: num_buckets * v / total for b, v in positive.items()}
+    counts = {b: int(q) for b, q in quotas.items()}
+    remainder = num_buckets - sum(counts.values())
+    # Largest fractional remainders get the leftover buckets (ties by id).
+    order = sorted(positive, key=lambda b: (counts[b] - quotas[b], b))
+    for b in order[:remainder]:
+        counts[b] += 1
+    buckets: list[BucketTarget] = []
+    for bank in sorted(counts):
+        if counts[bank] == 0:
+            continue
+        part = partition_of_bank[bank]
+        buckets.extend([BucketTarget(bank, part)] * counts[bank])
+    # Bucket order is irrelevant for distribution (the address hash picks an
+    # index uniformly), so a deterministic bank-sorted layout is fine.
+    return VCDescriptor(buckets, hash_seed)

@@ -1,0 +1,97 @@
+"""The virtual-cache translation buffer (VTB).
+
+Fig 3: each tile's VTB holds one entry per VC the running thread can access
+(3 entries: thread, process, global).  Each entry has a *current* descriptor
+and a *shadow* descriptor; between reconfigurations only the current one is
+used.  During an incremental reconfiguration (Sec IV-H) the shadow holds the
+previous configuration, and lookups return both locations so misses in the
+new bank can be forwarded to the old one (demand moves, Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vcache.descriptor import BucketTarget, VCDescriptor
+
+
+@dataclass
+class VTBEntry:
+    """One VC's translation state on a tile."""
+
+    vc_id: int
+    current: VCDescriptor
+    shadow: VCDescriptor | None = None
+
+    @property
+    def reconfiguring(self) -> bool:
+        return self.shadow is not None
+
+
+@dataclass(frozen=True)
+class VTBLookup:
+    """Result of a VTB lookup: where the line lives now, and (during
+    reconfigurations) where it lived before."""
+
+    vc_id: int
+    target: BucketTarget
+    old_target: BucketTarget | None
+
+    @property
+    def moved(self) -> bool:
+        """True if this line's location changed in the last reconfiguration
+        (the access must check the old bank on a miss)."""
+        return self.old_target is not None and self.old_target != self.target
+
+
+class VTB:
+    """Per-tile translation buffer; raises on lookups of unmapped VCs
+    (the paper's "exception on miss")."""
+
+    def __init__(self, max_entries: int = 3):
+        self.max_entries = max_entries
+        self._entries: dict[int, VTBEntry] = {}
+
+    def install(self, vc_id: int, descriptor: VCDescriptor) -> None:
+        """Install/replace a VC's descriptor (no reconfiguration in flight)."""
+        if vc_id not in self._entries and len(self._entries) >= self.max_entries:
+            raise ValueError(
+                f"VTB full ({self.max_entries} entries); unmap a VC first"
+            )
+        self._entries[vc_id] = VTBEntry(vc_id, descriptor)
+
+    def evict(self, vc_id: int) -> None:
+        self._entries.pop(vc_id, None)
+
+    def begin_reconfiguration(self, vc_id: int, new_descriptor: VCDescriptor) -> None:
+        """Copy the current descriptor into the shadow and switch to the new
+        one (the simultaneous update cores coordinate via IPIs, Sec III)."""
+        entry = self._entries.get(vc_id)
+        if entry is None:
+            self.install(vc_id, new_descriptor)
+            return
+        entry.shadow = entry.current
+        entry.current = new_descriptor
+
+    def end_reconfiguration(self, vc_id: int) -> None:
+        """Drop the shadow descriptor (after background invalidations have
+        walked the whole array, Sec IV-H)."""
+        entry = self._entries.get(vc_id)
+        if entry is not None:
+            entry.shadow = None
+
+    @property
+    def reconfiguring(self) -> bool:
+        return any(e.reconfiguring for e in self._entries.values())
+
+    def lookup(self, vc_id: int, line_addr: int) -> VTBLookup:
+        """Translate an access; exception on miss, as in Fig 3."""
+        entry = self._entries.get(vc_id)
+        if entry is None:
+            raise KeyError(f"VTB miss: VC {vc_id} is not mapped on this tile")
+        target = entry.current.lookup(line_addr)
+        old = entry.shadow.lookup(line_addr) if entry.shadow else None
+        return VTBLookup(vc_id, target, old)
+
+    def mapped_vcs(self) -> list[int]:
+        return sorted(self._entries)

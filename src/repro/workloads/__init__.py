@@ -1,0 +1,42 @@
+"""Workload model: app profiles (miss curves + intensities), mix
+generation, and synthetic address streams realizing a target miss curve."""
+
+from repro.workloads.generator import (
+    StackDistanceStream,
+    measure_miss_curve,
+    suggested_footprint,
+)
+from repro.workloads.mixes import (
+    Mix,
+    ProcessSpec,
+    case_study_mix,
+    fig16_case_study_mix,
+    make_mix,
+    random_multithreaded_mix,
+    random_single_threaded_mix,
+)
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    MULTI_THREADED,
+    SINGLE_THREADED,
+    AppProfile,
+    get_profile,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "AppProfile",
+    "MULTI_THREADED",
+    "Mix",
+    "ProcessSpec",
+    "SINGLE_THREADED",
+    "StackDistanceStream",
+    "case_study_mix",
+    "fig16_case_study_mix",
+    "get_profile",
+    "make_mix",
+    "measure_miss_curve",
+    "random_multithreaded_mix",
+    "random_single_threaded_mix",
+    "suggested_footprint",
+]

@@ -1,0 +1,231 @@
+"""Application profiles: the workload model.
+
+The paper evaluates on the 16 SPECCPU2006 apps with >= 5 L2 MPKI and on
+SPECOMP2012 multithreaded apps.  We cannot ship SPEC, so each app is
+described by the quantities CDCS itself consumes (DESIGN.md substitution
+table):
+
+* ``llc_apki`` — LLC accesses (L2 misses) per kilo-instruction,
+* a **miss curve** — MPKI as a function of LLC capacity (Fig 2),
+* ``base_cpi`` — CPI when every LLC access hits with zero extra latency,
+* for multithreaded apps, the private/shared access split and per-VC curves.
+
+Curve shapes and intensities are calibrated to the paper's Fig 2 (omnet:
+~85 MPKI cliff at 2.5 MB; milc: flat streaming; ilbdc: 512 KB footprint)
+and to published SPEC CPU2006 LLC characterizations for the rest.  Absolute
+numbers are approximations; the reproduction targets the paper's *shape*
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.miss_curve import (
+    MissCurve,
+    cliff_curve,
+    exponential_curve,
+    flat_curve,
+)
+from repro.util.units import mb
+
+#: Curves are defined up to the largest LLC we model (64 tiles x 512 KB).
+MAX_LLC = mb(32)
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One application (single- or multi-threaded).
+
+    For multithreaded apps, ``private_curve`` describes **one thread's**
+    private data and ``shared_curve`` the process-wide shared data;
+    ``shared_fraction`` is the fraction of LLC accesses that go to shared
+    data.  Single-threaded apps use ``shared_fraction = 0``.
+    """
+
+    name: str
+    base_cpi: float
+    llc_apki: float
+    private_curve: MissCurve
+    threads: int = 1
+    shared_fraction: float = 0.0
+    shared_curve: MissCurve | None = None
+    #: Fraction of LLC accesses that are writes (drives writeback traffic).
+    write_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError(f"{self.name}: base CPI must be positive")
+        if self.llc_apki < 0:
+            raise ValueError(f"{self.name}: APKI cannot be negative")
+        if not 0 <= self.shared_fraction <= 1:
+            raise ValueError(f"{self.name}: shared fraction must be in [0,1]")
+        if self.threads < 1:
+            raise ValueError(f"{self.name}: needs at least one thread")
+        if self.shared_fraction > 0 and self.shared_curve is None:
+            raise ValueError(f"{self.name}: shared accesses need a shared curve")
+
+    @property
+    def multithreaded(self) -> bool:
+        return self.threads > 1
+
+    @property
+    def private_apki(self) -> float:
+        """Per-thread accesses to its private VC, per kilo-instruction."""
+        return self.llc_apki * (1.0 - self.shared_fraction)
+
+    @property
+    def shared_apki(self) -> float:
+        """Per-thread accesses to the process's shared VC."""
+        return self.llc_apki * self.shared_fraction
+
+    def total_mpki(self, private_bytes: float, shared_bytes: float = 0.0) -> float:
+        """Aggregate per-thread MPKI given each VC's allocation.
+
+        Curves are calibrated so that ``private_curve(0) <= private_apki``
+        and ``shared_curve(0) <= shared_apki`` (a VC cannot miss more often
+        than it is accessed); we clamp anyway for robustness to
+        user-supplied profiles.
+        """
+        mpki = min(float(self.private_curve(private_bytes)), self.private_apki)
+        if self.shared_curve is not None:
+            mpki += min(float(self.shared_curve(shared_bytes)), self.shared_apki)
+        return mpki
+
+
+def _st(name: str, base_cpi: float, apki: float, curve: MissCurve,
+        write_fraction: float = 0.3) -> AppProfile:
+    return AppProfile(
+        name=name,
+        base_cpi=base_cpi,
+        llc_apki=apki,
+        private_curve=curve,
+        write_fraction=write_fraction,
+    )
+
+
+def _mt(
+    name: str,
+    base_cpi: float,
+    apki: float,
+    threads: int,
+    shared_fraction: float,
+    private_curve: MissCurve,
+    shared_curve: MissCurve,
+) -> AppProfile:
+    return AppProfile(
+        name=name,
+        base_cpi=base_cpi,
+        llc_apki=apki,
+        private_curve=private_curve,
+        threads=threads,
+        shared_fraction=shared_fraction,
+        shared_curve=shared_curve,
+    )
+
+
+def _single_threaded_profiles() -> dict[str, AppProfile]:
+    """The paper's 16 memory-intensive SPECCPU2006 apps (Sec V).
+
+    Curves are in MPKI against private-VC bytes.  Shapes: "fitting" apps
+    (omnet, xalancbmk, sphinx3, astar, cactusADM) have cliffs; "streaming"
+    apps (milc, lbm, libquantum, bwaves) are flat; the rest decay smoothly.
+    """
+    return {
+        p.name: p
+        for p in [
+            # -- cache-fitting apps (the big CDCS winners, Sec VI-A) --------
+            _st("omnet", 1.10, 105.0,
+                cliff_curve(MAX_LLC, 85.0, mb(2.5), 3.0)),
+            _st("xalancbmk", 1.05, 40.0,
+                cliff_curve(MAX_LLC, 26.0, mb(4.0), 2.5, cliff_sharpness=0.25)),
+            _st("sphinx3", 0.95, 25.0,
+                exponential_curve(MAX_LLC, 14.0, 1.5, mb(2.0))),
+            _st("astar", 1.20, 18.0,
+                cliff_curve(MAX_LLC, 10.0, mb(1.0), 2.0, cliff_sharpness=0.3)),
+            _st("cactusADM", 1.00, 12.0,
+                cliff_curve(MAX_LLC, 6.5, mb(2.8), 1.2, cliff_sharpness=0.2)),
+            # -- streaming / thrashing apps (no LLC benefit) ----------------
+            _st("milc", 0.90, 26.0, flat_curve(MAX_LLC, 25.0), 0.4),
+            _st("lbm", 0.85, 32.0, flat_curve(MAX_LLC, 30.0), 0.45),
+            _st("libquantum", 0.80, 26.0, flat_curve(MAX_LLC, 25.0), 0.25),
+            _st("bwaves", 0.95, 21.0,
+                MissCurve([0, mb(24), MAX_LLC], [19.0, 19.0, 16.0])),
+            # -- large-footprint, gradually-benefiting apps -----------------
+            _st("mcf", 1.40, 95.0,
+                exponential_curve(MAX_LLC, 70.0, 18.0, mb(5.0))),
+            _st("GemsFDTD", 1.00, 30.0,
+                exponential_curve(MAX_LLC, 24.0, 8.0, mb(7.0))),
+            _st("leslie3d", 0.95, 24.0,
+                exponential_curve(MAX_LLC, 20.0, 6.0, mb(4.0))),
+            # -- friendly apps with small/medium working sets ---------------
+            _st("bzip2", 1.10, 11.0,
+                exponential_curve(MAX_LLC, 7.5, 1.5, mb(0.8))),
+            _st("gcc", 1.15, 9.0,
+                exponential_curve(MAX_LLC, 6.0, 0.8, mb(0.5))),
+            _st("zeusmp", 0.95, 10.0,
+                exponential_curve(MAX_LLC, 7.0, 3.0, mb(2.0))),
+            _st("calculix", 0.85, 6.0,
+                exponential_curve(MAX_LLC, 5.0, 0.8, mb(0.6))),
+        ]
+    }
+
+
+def _multithreaded_profiles() -> dict[str, AppProfile]:
+    """SPECOMP2012-style 8-thread apps.
+
+    ``ilbdc``/``md``/``nab`` are shared-heavy (cluster well); ``mgrid`` is
+    private-heavy and intensive (spreads well) — exactly the Fig 16b mix.
+    Remaining apps fill out the mix pool with varied behavior.
+    """
+    t = 8
+    return {
+        p.name: p
+        for p in [
+            _mt("ilbdc", 1.00, 28.0, t, 0.80,
+                exponential_curve(MAX_LLC, 5.6, 0.7, mb(0.05)),
+                cliff_curve(MAX_LLC, 22.4, mb(0.5), 1.4, cliff_sharpness=0.3)),
+            _mt("md", 1.05, 14.0, t, 0.75,
+                exponential_curve(MAX_LLC, 3.5, 0.5, mb(0.1)),
+                cliff_curve(MAX_LLC, 10.5, mb(1.0), 1.0, cliff_sharpness=0.3)),
+            _mt("nab", 0.95, 12.0, t, 0.70,
+                exponential_curve(MAX_LLC, 3.6, 0.6, mb(0.1)),
+                exponential_curve(MAX_LLC, 8.4, 1.0, mb(0.8))),
+            _mt("mgrid", 0.90, 30.0, t, 0.15,
+                cliff_curve(MAX_LLC, 25.5, mb(1.5), 4.0, cliff_sharpness=0.3),
+                flat_curve(MAX_LLC, 4.5)),
+            _mt("swim", 0.90, 28.0, t, 0.20,
+                flat_curve(MAX_LLC, 22.4),
+                flat_curve(MAX_LLC, 5.6)),
+            _mt("bt331", 1.00, 15.0, t, 0.40,
+                exponential_curve(MAX_LLC, 9.0, 2.0, mb(1.0)),
+                exponential_curve(MAX_LLC, 6.0, 1.0, mb(0.5))),
+            _mt("fma3d", 1.05, 13.0, t, 0.50,
+                exponential_curve(MAX_LLC, 6.5, 1.5, mb(0.7)),
+                exponential_curve(MAX_LLC, 6.5, 1.2, mb(1.2))),
+            _mt("applu331", 0.95, 20.0, t, 0.30,
+                exponential_curve(MAX_LLC, 14.0, 4.0, mb(2.0)),
+                exponential_curve(MAX_LLC, 6.0, 1.5, mb(0.8))),
+            _mt("botsalgn", 1.10, 8.0, t, 0.60,
+                exponential_curve(MAX_LLC, 3.2, 0.5, mb(0.2)),
+                cliff_curve(MAX_LLC, 4.8, mb(0.8), 0.5, cliff_sharpness=0.3)),
+            _mt("smithwa", 1.00, 10.0, t, 0.65,
+                exponential_curve(MAX_LLC, 3.5, 0.6, mb(0.15)),
+                cliff_curve(MAX_LLC, 6.5, mb(1.2), 0.7, cliff_sharpness=0.25)),
+        ]
+    }
+
+
+#: Registry of all profiles by name.
+SINGLE_THREADED: dict[str, AppProfile] = _single_threaded_profiles()
+MULTI_THREADED: dict[str, AppProfile] = _multithreaded_profiles()
+ALL_PROFILES: dict[str, AppProfile] = {**SINGLE_THREADED, **MULTI_THREADED}
+
+
+def get_profile(name: str) -> AppProfile:
+    """Look up a profile by name; raises ``KeyError`` with the known names."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_PROFILES))
+        raise KeyError(f"unknown app {name!r}; known apps: {known}") from None

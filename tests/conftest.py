@@ -1,0 +1,8 @@
+"""Shared pytest configuration: the `slow` marker for heavier end-to-end
+tests (still run by default; deselect with `-m "not slow"`)."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: heavier end-to-end tests (full case study, traces)"
+    )

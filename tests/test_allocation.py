@@ -1,0 +1,107 @@
+"""Capacity allocation: hulls and Lookahead policies (repro.sched.allocation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import small_test_config
+from repro.nuca.base import build_problem
+from repro.sched.allocation import (
+    allocate_latency_aware,
+    allocate_miss_driven,
+    convex_hull_indices,
+)
+from repro.util.units import kb, mb
+from repro.workloads.mixes import make_mix
+
+
+def test_hull_indices_simple():
+    values = np.array([10.0, 9.0, 5.0, 4.9, 4.8])
+    hull = convex_hull_indices(values)
+    assert hull[0] == 0 and hull[-1] == 4
+    # Point 1 lies above the chord 0->2 and must be dropped.
+    assert 1 not in hull
+
+
+@given(
+    st.lists(st.floats(0, 1000, allow_nan=False), min_size=2, max_size=40)
+)
+@settings(max_examples=100)
+def test_hull_indices_lower_bound_property(values):
+    arr = np.array(values)
+    hull = convex_hull_indices(arr)
+    # Hull interpolation never exceeds the curve.
+    interp = np.interp(np.arange(len(arr)), hull, arr[hull])
+    assert np.all(interp <= arr + 1e-6)
+    # Hull slopes are non-decreasing (convexity).
+    slopes = np.diff(arr[hull]) / np.diff(hull)
+    assert np.all(np.diff(slopes) >= -1e-9)
+
+
+def problem_for(names):
+    config = small_test_config(4, 4)
+    return config, build_problem(make_mix(names), config)
+
+
+def test_cliff_app_gets_its_working_set():
+    config, problem = problem_for(["omnet", "milc", "milc", "milc"])
+    sizes = allocate_miss_driven(problem)
+    assert sizes[0] >= mb(2.5) - kb(64)  # omnet's 2.5 MB cliff
+
+
+def test_streaming_app_gets_minimum():
+    config, problem = problem_for(["omnet", "milc"])
+    sizes = allocate_latency_aware(problem)
+    assert sizes[1] <= kb(64)  # milc: one quantum at most
+
+
+def test_budget_respected():
+    config, problem = problem_for(["omnet"] * 4 + ["mcf"] * 4)
+    for sizes in (allocate_latency_aware(problem), allocate_miss_driven(problem)):
+        assert sum(sizes.values()) <= config.llc_bytes + 1
+
+
+def test_every_active_vc_gets_capacity():
+    """The VTB needs a target for every live VC (min one quantum)."""
+    config, problem = problem_for(["milc"] * 8)
+    for sizes in (allocate_latency_aware(problem), allocate_miss_driven(problem)):
+        for thread_id in range(8):
+            assert sizes[thread_id] >= kb(64)
+
+
+def test_latency_aware_leaves_capacity_unused():
+    """Sec IV-C: with few apps, extra capacity costs on-chip latency, so
+    CDCS deliberately under-allocates while Jigsaw hands everything out."""
+    config, problem = problem_for(["gcc", "milc"])
+    cdcs_sizes = allocate_latency_aware(problem)
+    jig_sizes = allocate_miss_driven(problem)
+    assert sum(cdcs_sizes.values()) < sum(jig_sizes.values())
+    assert sum(jig_sizes.values()) == pytest.approx(config.llc_bytes, rel=0.01)
+
+
+def test_min_quantum_steal_avoids_cliffs():
+    """Stealing the mandatory minimum quantum must not take omnet below its
+    cliff (the regression this suite guards: a cliff app loses its whole
+    benefit if one quantum is shaved)."""
+    config, problem = problem_for(
+        ["omnet", "omnet", "milc", "milc", "milc", "milc", "mcf", "mcf"]
+    )
+    sizes = allocate_miss_driven(problem)
+    for omnet_thread in (0, 1):
+        assert sizes[omnet_thread] >= mb(2.5) - kb(128)
+
+
+def test_miss_driven_leftover_proportional_to_rate():
+    # Two purely streaming apps: Lookahead finds zero utility anywhere, so
+    # the whole LLC is leftover, handed out proportionally to access rates
+    # (lbm: 32 APKI vs milc: 26 APKI).
+    config, problem = problem_for(["lbm", "milc"])
+    sizes = allocate_miss_driven(problem)
+    assert sizes[0] > sizes[1] > 0
+    assert sum(sizes.values()) == pytest.approx(config.llc_bytes, rel=0.01)
+
+
+def test_allocation_deterministic():
+    config, problem = problem_for(["omnet", "mcf", "milc", "gcc"])
+    assert allocate_latency_aware(problem) == allocate_latency_aware(problem)

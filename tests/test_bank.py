@@ -1,0 +1,150 @@
+"""Partitioned banks: the Vantage behavioral contract (repro.cache.bank)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.bank import PartitionedBank
+
+
+def make_bank(capacity=64):
+    return PartitionedBank(0, capacity)
+
+
+def test_partition_isolation():
+    """Filling one partition must not evict another's lines."""
+    bank = make_bank(64)
+    bank.configure_partition(1, 8)
+    bank.configure_partition(2, 8)
+    for addr in range(8):
+        bank.access(addr, 1)
+    for addr in range(100, 200):  # thrash partition 2
+        bank.access(addr, 2)
+    assert bank.occupancy(1) == 8
+    for addr in range(8):
+        assert bank.probe(addr, 1)
+
+
+def test_lru_within_partition():
+    bank = make_bank(16)
+    bank.configure_partition(1, 2)
+    bank.access(10, 1)
+    bank.access(11, 1)
+    bank.access(10, 1)  # refresh 10; 11 becomes LRU
+    bank.access(12, 1)  # evicts 11
+    assert bank.probe(10, 1)
+    assert not bank.probe(11, 1)
+    assert bank.probe(12, 1)
+
+
+def test_hit_and_miss_counting():
+    bank = make_bank(16)
+    bank.configure_partition(1, 4)
+    assert not bank.access(5, 1)  # miss + fill
+    assert bank.access(5, 1)  # hit
+    assert bank.stats.hits == 1
+    assert bank.stats.misses == 1
+
+
+def test_quota_sum_cannot_exceed_capacity():
+    bank = make_bank(16)
+    bank.configure_partition(1, 10)
+    with pytest.raises(ValueError):
+        bank.configure_partition(2, 7)
+    bank.configure_partition(2, 6)  # exactly fits
+
+
+def test_shrink_evicts_lru_first():
+    bank = make_bank(16)
+    bank.configure_partition(1, 4)
+    for addr in range(4):
+        bank.access(addr, 1)
+    bank.access(0, 1)  # 0 becomes MRU; LRU order now 1,2,3,0
+    bank.configure_partition(1, 2)
+    assert bank.occupancy(1) == 2
+    assert bank.probe(0, 1)
+    assert bank.probe(3, 1)
+    assert not bank.probe(1, 1)
+
+
+def test_lazy_shrink_keeps_lines():
+    bank = make_bank(16)
+    bank.configure_partition(1, 4)
+    for addr in range(4):
+        bank.access(addr, 1)
+    bank.configure_partition(1, 1, lazy=True)
+    assert bank.occupancy(1) == 4  # overflow retained (Sec IV-H)
+    bank.access(99, 1)  # insert drains overflow to fit the new quota
+    assert bank.occupancy(1) <= 1
+
+
+def test_zero_quota_partition_bypasses():
+    bank = make_bank(16)
+    bank.configure_partition(1, 0)
+    # Partition with zero quota holds nothing.
+    bank.configure_partition(2, 4)
+    bank.configure_partition(2, 0)
+    assert bank.occupancy(2) == 0
+
+
+def test_extract_returns_dirty_state():
+    bank = make_bank(16)
+    bank.configure_partition(1, 4)
+    bank.access(7, 1, write=True)
+    assert bank.extract(7, 1) is True
+    assert bank.extract(7, 1) is None  # already gone
+    bank.access(8, 1, write=False)
+    assert bank.extract(8, 1) is False
+
+
+def test_fill_does_not_count_access():
+    bank = make_bank(16)
+    bank.configure_partition(1, 4)
+    bank.fill(3, 1, dirty=True)
+    assert bank.stats.accesses == 0
+    assert bank.probe(3, 1)
+
+
+def test_invalidate():
+    bank = make_bank(16)
+    bank.configure_partition(1, 4)
+    bank.access(1, 1)
+    assert bank.invalidate(1, 1)
+    assert not bank.invalidate(1, 1)
+    assert bank.stats.invalidations == 1
+
+
+def test_unknown_partition_raises():
+    bank = make_bank(16)
+    with pytest.raises(KeyError):
+        bank.access(0, 99)
+
+
+def test_resident_lines_and_all_lines():
+    bank = make_bank(16)
+    bank.configure_partition(1, 4)
+    bank.configure_partition(2, 4)
+    bank.access(1, 1)
+    bank.access(2, 2)
+    assert bank.resident_lines(1) == [1]
+    assert sorted(bank.all_lines()) == [(1, 1), (2, 2)]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 30), st.booleans()),
+        max_size=300,
+    )
+)
+@settings(max_examples=50)
+def test_occupancy_never_exceeds_quota(ops):
+    """Property: under any access sequence, each partition stays within its
+    quota and the bank within its capacity."""
+    bank = PartitionedBank(0, 24)
+    quotas = {0: 4, 1: 8, 2: 12}
+    for pid, quota in quotas.items():
+        bank.configure_partition(pid, quota)
+    for pid, addr, write in ops:
+        bank.access(addr, pid, write)
+        assert bank.occupancy(pid) <= quotas[pid]
+    assert bank.occupancy() <= 24

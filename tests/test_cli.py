@@ -1,0 +1,39 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig11", "fig13", "fig17", "table3", "gmon"):
+        assert name in out
+
+
+def test_invalid_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+@pytest.mark.slow
+def test_table3_command(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "64/64" in out
+
+
+@pytest.mark.slow
+def test_fig14_command_small(capsys):
+    assert main(["fig14", "--mixes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "CDCS" in out and "Jigsaw+R" in out
+
+
+@pytest.mark.slow
+def test_gmon_command(capsys):
+    assert main(["gmon"]) == 0
+    out = capsys.readouterr().out
+    assert "GMON-64" in out and "UMON-256" in out

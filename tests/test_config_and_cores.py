@@ -1,0 +1,89 @@
+"""System configuration (Table 2) and core models."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    case_study_config,
+    default_config,
+    small_test_config,
+)
+from repro.cores.ooo_core import CoreModel
+from repro.util.rng import child_rng, make_rng, spawn_seeds
+from repro.util.units import kb, mb
+
+
+def test_table2_defaults():
+    cfg = default_config()
+    assert cfg.tiles == 64
+    assert cfg.llc_bytes == mb(32)
+    assert cfg.cache.bank_bytes == kb(512)
+    assert cfg.cache.bank_ways == 16
+    assert cfg.cache.partitions_per_bank == 64
+    assert cfg.memory.controllers == 8
+    assert cfg.memory.zero_load_latency == 120
+    assert cfg.scheduler.reconfigure_interval_cycles == 50_000_000
+    assert cfg.scheduler.descriptor_buckets == 64
+
+
+def test_case_study_config_is_6x6():
+    cfg = case_study_config()
+    assert cfg.tiles == 36
+    assert cfg.llc_bytes == mb(18)
+
+
+def test_quanta_accounting():
+    cfg = default_config()
+    assert cfg.bank_quanta == 8  # 512 KB / 64 KB
+    assert cfg.total_quanta == 512
+
+
+def test_with_mesh_and_with_banks():
+    cfg = default_config().with_mesh(4, 4)
+    assert cfg.tiles == 16
+    banked = cfg.with_banks(kb(128), 1)
+    assert banked.cache.bank_bytes == kb(128)
+    assert banked.cache.partitions_per_bank == 1
+    assert banked.llc_bytes == 16 * kb(128)
+
+
+def test_small_test_config():
+    assert small_test_config(3, 5).tiles == 15
+
+
+def test_core_model_cpi_decomposition():
+    cfg = small_test_config().core
+    model = CoreModel(cfg)
+    base = model.cpi(1.0, 0.0, 100.0, 100.0)
+    assert base == 1.0  # zero APKI: memory is free
+    cpi = model.cpi(1.0, 10.0, 23.0, 115.0)
+    expected = 1.0 + 0.01 * (23.0 / cfg.mlp_onchip + 115.0 / cfg.mlp_offchip)
+    assert cpi == pytest.approx(expected)
+    assert model.ipc(1.0, 10.0, 23.0, 115.0) == pytest.approx(1.0 / expected)
+
+
+def test_core_model_validation():
+    model = CoreModel(small_test_config().core)
+    with pytest.raises(ValueError):
+        model.cpi(0.0, 1.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        model.cpi(1.0, -1.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        model.exposed_latency(-1.0, 0.0)
+
+
+def test_core_model_instructions_in():
+    model = CoreModel(small_test_config().core)
+    instrs = model.instructions_in(1000.0, 1.0, 0.0, 0.0, 0.0)
+    assert instrs == pytest.approx(1000.0)
+
+
+def test_rng_helpers_reproducible():
+    assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+    a = child_rng(7, 1, 2).integers(1000)
+    b = child_rng(7, 1, 2).integers(1000)
+    c = child_rng(7, 2, 1).integers(1000)
+    assert a == b
+    seeds = spawn_seeds(7, 5)
+    assert len(seeds) == len(set(seeds)) == 5
+    assert seeds == spawn_seeds(7, 5)

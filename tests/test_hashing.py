@@ -1,0 +1,64 @@
+"""Hash family properties (repro.util.hashing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.hashing import bucket_hash, mix64, sample_fraction, tag_hash16
+
+
+def test_mix64_deterministic():
+    assert mix64(0xDEADBEEF, 3) == mix64(0xDEADBEEF, 3)
+
+
+def test_mix64_seed_family_differs():
+    values = {mix64(42, seed) for seed in range(8)}
+    assert len(values) == 8
+
+
+@given(st.integers(min_value=0, max_value=2**60))
+def test_mix64_in_64_bit_range(value):
+    assert 0 <= mix64(value) < 2**64
+
+
+def test_bucket_hash_range_and_determinism():
+    for addr in range(1000):
+        b = bucket_hash(addr, 64)
+        assert 0 <= b < 64
+        assert b == bucket_hash(addr, 64)
+
+
+def test_bucket_hash_rejects_bad_bucket_count():
+    with pytest.raises(ValueError):
+        bucket_hash(1, 0)
+
+
+def test_bucket_hash_spreads_uniformly():
+    counts = np.zeros(64)
+    n = 64_000
+    for addr in range(n):
+        counts[bucket_hash(addr, 64)] += 1
+    # Each bucket should be within 25% of the expected 1000.
+    assert counts.min() > 750
+    assert counts.max() < 1250
+
+
+def test_tag_hash16_is_16_bits():
+    assert all(0 <= tag_hash16(a) < 65536 for a in range(500))
+
+
+def test_sample_fraction_extremes():
+    assert sample_fraction(123, 1.0)
+    assert not sample_fraction(123, 0.0)
+
+
+def test_sample_fraction_rate_close_to_target():
+    hits = sum(sample_fraction(a, 1 / 64, seed=9) for a in range(64_000))
+    assert hits == pytest.approx(1000, rel=0.2)
+
+
+@given(st.integers(min_value=0, max_value=2**40), st.floats(0.0, 1.0))
+@settings(max_examples=200)
+def test_sample_fraction_deterministic(addr, fraction):
+    assert sample_fraction(addr, fraction) == sample_fraction(addr, fraction)

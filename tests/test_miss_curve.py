@@ -1,0 +1,140 @@
+"""Miss curves: interpolation, hulls, constructors (repro.cache.miss_curve)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.miss_curve import (
+    MissCurve,
+    cliff_curve,
+    exponential_curve,
+    flat_curve,
+)
+from repro.util.units import mb
+
+
+def test_interpolation_and_clamping():
+    curve = MissCurve([0, 100], [10.0, 0.0])
+    assert curve(50) == pytest.approx(5.0)
+    assert curve(0) == 10.0
+    assert curve(1000) == 0.0  # clamp right
+    assert curve(-5) == 10.0  # clamp left (via np.interp)
+
+
+def test_validation_rejects_bad_input():
+    with pytest.raises(ValueError):
+        MissCurve([], [])
+    with pytest.raises(ValueError):
+        MissCurve([0, 0], [1, 1])  # not strictly increasing
+    with pytest.raises(ValueError):
+        MissCurve([0, 1], [1, -1])  # negative rate
+    with pytest.raises(ValueError):
+        MissCurve([0, 1], [1])  # length mismatch
+
+
+def test_flat_curve_is_capacity_insensitive():
+    curve = flat_curve(mb(32), 25.0)
+    assert curve(0) == curve(mb(16)) == curve(mb(32)) == 25.0
+
+
+def test_cliff_curve_shape():
+    curve = cliff_curve(mb(32), 85.0, mb(2.5), 3.0)
+    assert curve(0) == 85.0
+    assert curve(mb(2.0)) == 85.0  # before the drop
+    assert curve(mb(2.5)) == pytest.approx(3.0)
+    assert curve(mb(10)) == pytest.approx(3.0)
+
+
+def test_cliff_curve_validates_cliff_position():
+    with pytest.raises(ValueError):
+        cliff_curve(mb(1), 10.0, mb(2), 1.0)
+
+
+def test_exponential_curve_halves_at_half_size():
+    curve = exponential_curve(mb(32), 20.0, 0.0, mb(2))
+    assert curve(mb(2)) == pytest.approx(10.0, rel=0.01)
+    assert curve(mb(4)) == pytest.approx(5.0, rel=0.02)
+
+
+def test_scaled_and_scaled_sizes():
+    curve = cliff_curve(mb(32), 10.0, mb(2), 1.0)
+    assert curve.scaled(2.0)(0) == 20.0
+    shrunk = curve.scaled_sizes(1 / 8)
+    assert shrunk(mb(2) / 8) == pytest.approx(curve(mb(2)))
+    with pytest.raises(ValueError):
+        curve.scaled(-1)
+    with pytest.raises(ValueError):
+        curve.scaled_sizes(0)
+
+
+def test_monotone_decreasing_running_min():
+    noisy = MissCurve([0, 1, 2, 3], [5.0, 7.0, 3.0, 4.0])
+    clean = noisy.monotone_decreasing()
+    assert list(clean.values) == [5.0, 5.0, 3.0, 3.0]
+
+
+def test_addition_on_union_grid():
+    a = MissCurve([0, 10], [4.0, 0.0])
+    b = MissCurve([0, 5, 10], [2.0, 2.0, 2.0])
+    c = a + b
+    assert c(0) == 6.0
+    assert c(5) == pytest.approx(4.0)
+    assert c(10) == 2.0
+
+
+def test_effective_footprint_of_cliff():
+    curve = cliff_curve(mb(32), 85.0, mb(2.5), 3.0)
+    fp = curve.effective_footprint()
+    assert mb(2.3) <= fp <= mb(2.6)
+
+
+def test_effective_footprint_of_flat_curve_is_zero_point():
+    curve = flat_curve(mb(32), 25.0)
+    assert curve.effective_footprint() == 0.0
+
+
+@st.composite
+def random_curves(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    # Integer-spaced sizes (scaled): capacities are byte counts in practice,
+    # so degenerate sub-epsilon gaps that overflow slope arithmetic are out
+    # of scope.
+    steps = draw(
+        st.lists(st.integers(1, 10_000), min_size=n - 1, max_size=n - 1)
+    )
+    sizes = [0.0]
+    for step in steps:
+        sizes.append(sizes[-1] + float(step))
+    values = draw(
+        st.lists(st.floats(0, 1e3, allow_nan=False), min_size=n, max_size=n)
+    )
+    return MissCurve(sizes, values)
+
+
+@given(random_curves())
+def test_convex_hull_is_a_lower_bound(curve):
+    hull = curve.convex_hull()
+    probes = np.linspace(curve.sizes[0], curve.sizes[-1], 40)
+    assert np.all(np.asarray(hull(probes)) <= np.asarray(curve(probes)) + 1e-6)
+
+
+@given(random_curves())
+def test_convex_hull_is_convex(curve):
+    xs, ys = curve.convex_points()
+    if len(xs) >= 3:
+        slopes = np.diff(ys) / np.diff(xs)
+        assert np.all(np.diff(slopes) >= -1e-9)
+
+
+@given(random_curves())
+def test_hull_touches_endpoints(curve):
+    xs, ys = curve.convex_points()
+    assert xs[0] == curve.sizes[0]
+    assert xs[-1] == curve.sizes[-1]
+    assert ys[0] == pytest.approx(curve.values[0])
+    assert ys[-1] == pytest.approx(curve.values[-1])
+
+
+def test_repr_mentions_points():
+    assert "pts" in repr(flat_curve(100, 1.0))

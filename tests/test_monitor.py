@@ -1,0 +1,106 @@
+"""UMON and GMON monitors (Sec IV-G)."""
+
+import pytest
+
+from repro.cache.miss_curve import cliff_curve, flat_curve
+from repro.cache.monitor import GMon, UMon, required_umon_ways, solve_gamma
+from repro.util.units import kb, mb
+from repro.workloads.generator import StackDistanceStream
+
+
+def test_required_umon_ways_paper_example():
+    # 32 MB LLC at 64 KB grain needs 512 ways (Sec IV-G).
+    assert required_umon_ways(mb(32), kb(64)) == 512
+
+
+def test_solve_gamma_paper_point():
+    gamma = solve_gamma(kb(64), mb(32), 64)
+    assert 0.94 <= gamma <= 0.96  # paper: ~0.95
+
+
+def test_solve_gamma_uniform_when_coverage_easy():
+    assert solve_gamma(kb(64), kb(64) * 32, 64) == 1.0
+
+
+def test_gmon_way_capacities_grow_26x():
+    gmon = GMon(kb(64), mb(32), ways=64)
+    caps = gmon.way_capacities()
+    assert caps[0] == pytest.approx(kb(64), rel=0.01)
+    assert caps[-1] / caps[0] == pytest.approx(26, rel=0.15)  # paper: 26x
+    assert caps.sum() == pytest.approx(mb(32), rel=0.05)
+
+
+def test_gmon_validation():
+    with pytest.raises(ValueError):
+        GMon(0, mb(1))
+    with pytest.raises(ValueError):
+        GMon(mb(2), mb(1))
+
+
+def test_umon_uniform_ways():
+    umon = UMon(mb(4), ways=64)
+    caps = umon.way_capacities()
+    assert len(set(caps.round(3))) == 1
+    assert caps.sum() == pytest.approx(mb(4))
+
+
+def _drive(monitor, curve, apki, accesses, seed=3):
+    stream = StackDistanceStream(curve, apki=apki, seed=seed)
+    for _ in range(accesses):
+        monitor.access(stream.next_address())
+    return monitor.miss_curve()
+
+
+def test_umon_flat_stream_has_flat_curve():
+    curve = flat_curve(kb(512), 20.0)
+    mon = UMon(kb(512), ways=32, seed=11)
+    measured = _drive(mon, curve, apki=20.0, accesses=20_000)
+    # A pure streaming app hits nowhere: misses stay near total accesses.
+    assert measured(kb(512)) / measured(0) > 0.9
+
+
+def test_umon_captures_cliff_position():
+    curve = cliff_curve(kb(512), 20.0, kb(128), 1.0)
+    mon = UMon(kb(512), ways=64, seed=11)
+    measured = _drive(mon, curve, apki=20.0, accesses=40_000)
+    before = measured(kb(64)) / measured(0)
+    after = measured(kb(256)) / measured(0)
+    assert before > 0.8  # misses before the working set fits
+    assert after < 0.45  # mostly hits after
+
+
+def test_gmon_matches_umon_at_small_sizes():
+    """The point of GMONs: 64 ways cover what a many-way UMON covers."""
+    curve = cliff_curve(kb(512), 20.0, kb(96), 1.0)
+    umon = UMon(kb(512), ways=256, seed=11)
+    gmon = GMon(kb(8), kb(512), ways=64, seed=11)
+    m_u = _drive(umon, curve, 20.0, 40_000)
+    m_g = _drive(gmon, curve, 20.0, 40_000, seed=3)
+    for size in (kb(32), kb(64), kb(192), kb(384)):
+        ru = m_u(size) / max(m_u(0), 1)
+        rg = m_g(size) / max(m_g(0), 1)
+        assert rg == pytest.approx(ru, abs=0.25)
+
+
+def test_monitor_curve_is_monotone_decreasing():
+    curve = cliff_curve(kb(256), 10.0, kb(64), 1.0)
+    gmon = GMon(kb(8), kb(256), ways=32, seed=5)
+    measured = _drive(gmon, curve, 10.0, 20_000)
+    values = list(measured.values)
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_monitor_reset_clears_state():
+    gmon = GMon(kb(8), kb(256), ways=32)
+    gmon.observe(1234)
+    assert gmon.sampled_accesses == 1
+    gmon.reset()
+    assert gmon.sampled_accesses == 0
+    assert gmon.hit_counters.sum() == 0
+
+
+def test_monitor_sampling_rate_subsamples():
+    umon = UMon(mb(1), ways=16, seed=2)  # derived rate: 16KB raw / 1MB = 1/64
+    for addr in range(64_000):
+        umon.access(addr)
+    assert umon.sampled_accesses == pytest.approx(1000, rel=0.25)

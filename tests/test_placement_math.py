@@ -1,0 +1,119 @@
+"""Placement geometry: compact placement, contention, centers (Fig 6-8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.mesh import Mesh
+from repro.geometry.placement_math import (
+    center_of_mass,
+    compact_mean_distance,
+    compact_placement,
+    contention_window,
+    nearest_tile,
+    placement_mean_distance,
+    spiral,
+    weighted_center_tile,
+    window_contention,
+)
+
+
+def test_compact_placement_fractions_sum_to_size():
+    mesh = Mesh(6, 6)
+    placement = compact_placement(mesh, 14, 8.2)
+    assert sum(placement.values()) == pytest.approx(8.2)
+    assert all(0 < f <= 1 for f in placement.values())
+
+
+def test_compact_placement_fills_center_first():
+    mesh = Mesh(6, 6)
+    placement = compact_placement(mesh, 14, 3.0)
+    assert placement[14] == 1.0
+    # All full banks are at distance <= the partial bank's distance.
+    dists = sorted(mesh.distance(14, t) for t in placement)
+    assert dists == [0, 1, 1]
+
+
+def test_paper_fig6_average_distance():
+    # Fig 6: an 8.2-bank VC compactly placed mid-chip averages ~1.27 hops.
+    mesh = Mesh(8, 8)
+    d = compact_mean_distance(mesh, mesh.center_tile(), 8.2)
+    assert d == pytest.approx(1.27, abs=0.02)
+
+
+def test_compact_placement_clamps_to_chip():
+    mesh = Mesh(2, 2)
+    placement = compact_placement(mesh, 0, 10.0)
+    assert sum(placement.values()) == pytest.approx(4.0)
+
+
+def test_compact_placement_rejects_negative():
+    with pytest.raises(ValueError):
+        compact_placement(Mesh(2, 2), 0, -1.0)
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.floats(min_value=0.1, max_value=20.0),
+)
+def test_compact_mean_distance_monotone_in_size(side, size):
+    """Bigger compact VCs are farther away on average (Fig 5's rising
+    on-chip term)."""
+    mesh = Mesh(side, side)
+    center = mesh.center_tile()
+    small = compact_mean_distance(mesh, center, min(size, mesh.tiles))
+    bigger = compact_mean_distance(
+        mesh, center, min(size * 1.5, mesh.tiles)
+    )
+    assert bigger >= small - 1e-9
+
+
+def test_placement_mean_distance_zero_for_local():
+    mesh = Mesh(4, 4)
+    assert placement_mean_distance(mesh, 5, {5: 1.0}) == 0.0
+
+
+def test_window_contention_weighted_sum():
+    mesh = Mesh(4, 4)
+    window = contention_window(mesh, 5, 2.0)
+    claimed = [1.0] * 16
+    assert window_contention(claimed, window) == pytest.approx(2.0)
+
+
+def test_spiral_order_is_by_distance():
+    mesh = Mesh(5, 5)
+    order = list(spiral(mesh, 12))
+    dists = [mesh.distance(12, t) for t in order]
+    assert dists == sorted(dists)
+    assert order[0] == 12
+
+
+def test_center_of_mass_weighted():
+    mesh = Mesh(4, 4)
+    com = center_of_mass(mesh, {0: 1.0, 3: 1.0})
+    assert com == pytest.approx((1.5, 0.0))
+    com = center_of_mass(mesh, {0: 3.0, 3: 1.0})
+    assert com == pytest.approx((0.75, 0.0))
+
+
+def test_center_of_mass_empty_raises():
+    with pytest.raises(ValueError):
+        center_of_mass(Mesh(2, 2), {})
+
+
+def test_nearest_tile_rounds_to_closest():
+    mesh = Mesh(4, 4)
+    assert nearest_tile(mesh, (0.4, 0.4)) == 0
+    assert nearest_tile(mesh, (2.9, 3.1)) == 15
+
+
+def test_weighted_center_tile_is_network_median():
+    mesh = Mesh(5, 1)
+    # Weights at the ends: any middle tile minimizes; heavy left pulls left.
+    assert weighted_center_tile(mesh, {0: 10.0, 4: 1.0}) == 0
+    assert weighted_center_tile(mesh, {0: 1.0, 4: 1.0}) in (0, 1, 2, 3, 4)
+
+
+def test_weighted_center_tile_single_point():
+    mesh = Mesh(4, 4)
+    assert weighted_center_tile(mesh, {9: 2.0}) == 9

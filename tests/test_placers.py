@@ -1,0 +1,111 @@
+"""Alternative placers: LP, annealing, graph partitioning (Sec VI-C)."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.nuca import Cdcs, build_problem
+from repro.placers import (
+    anneal_thread_placement,
+    graph_partition_placement,
+    lp_data_placement,
+)
+from repro.sched.cost_model import on_chip_latency
+from repro.sched.problem import PlacementSolution
+from repro.workloads.mixes import make_mix
+
+MIX = ["omnet", "milc", "gcc", "astar", "bzip2", "mcf"]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = small_test_config(4, 4)
+    problem = build_problem(make_mix(MIX), config)
+    cdcs = Cdcs(seed=1).run(problem)
+    return config, problem, cdcs.solution
+
+
+def test_lp_placement_feasible(setup):
+    _, problem, solution = setup
+    alloc = lp_data_placement(
+        problem, solution.vc_sizes, solution.thread_cores
+    )
+    usage = {}
+    for vc_id, per_bank in alloc.items():
+        placed = sum(per_bank.values())
+        assert placed == pytest.approx(solution.vc_sizes[vc_id], rel=0.01)
+        for bank, amount in per_bank.items():
+            usage[bank] = usage.get(bank, 0.0) + amount
+    assert max(usage.values()) <= problem.bank_bytes * 1.001
+
+
+def test_lp_is_at_least_as_good_as_cdcs(setup):
+    """LP solves Eq 2 exactly for fixed threads/sizes, so it lower-bounds
+    CDCS's heuristic placement (the paper: ILP gains only ~0.5%)."""
+    _, problem, solution = setup
+    alloc = lp_data_placement(
+        problem, solution.vc_sizes, solution.thread_cores
+    )
+    lp_solution = PlacementSolution(
+        vc_sizes={v: sum(p.values()) for v, p in alloc.items()},
+        vc_allocation=alloc,
+        thread_cores=dict(solution.thread_cores),
+    )
+    assert on_chip_latency(problem, lp_solution) <= on_chip_latency(
+        problem, solution
+    ) * 1.001
+
+
+def test_lp_rejects_oversubscription(setup):
+    _, problem, solution = setup
+    huge = {vc: problem.total_bytes for vc in solution.vc_sizes}
+    with pytest.raises(RuntimeError):
+        lp_data_placement(problem, huge, solution.thread_cores)
+
+
+def test_annealing_never_worsens(setup):
+    _, problem, solution = setup
+    result = anneal_thread_placement(
+        problem, solution.vc_allocation, solution.thread_cores,
+        rounds=800, seed=2,
+    )
+    assert result.final_cost <= result.initial_cost + 1e-6
+    cores = list(result.thread_cores.values())
+    assert len(set(cores)) == len(cores)  # still a valid assignment
+
+
+def test_annealing_recovers_from_bad_start(setup):
+    """Started from a deliberately bad placement, annealing must find most
+    of the improvement CDCS's constructive placement found."""
+    _, problem, solution = setup
+    # Reverse the thread order: big-VC threads end up far from their data.
+    threads = sorted(solution.thread_cores)
+    cores_sorted = [solution.thread_cores[t] for t in threads]
+    bad = dict(zip(threads, reversed(cores_sorted)))
+    result = anneal_thread_placement(
+        problem, solution.vc_allocation, bad, rounds=4000, seed=3
+    )
+    assert result.final_cost < result.initial_cost
+
+
+def test_graph_partition_valid_solution(setup):
+    _, problem, solution = setup
+    gp = graph_partition_placement(problem, solution.vc_sizes, seed=1)
+    cores = list(gp.thread_cores.values())
+    assert len(set(cores)) == len(cores)
+    assert set(gp.thread_cores) == {t.thread_id for t in problem.threads}
+    usage = {}
+    for per_bank in gp.vc_allocation.values():
+        for bank, amount in per_bank.items():
+            usage[bank] = usage.get(bank, 0.0) + amount
+    assert max(usage.values()) <= problem.bank_bytes * 1.001
+
+
+def test_graph_partition_places_all_capacity(setup):
+    _, problem, solution = setup
+    gp = graph_partition_placement(problem, solution.vc_sizes, seed=1)
+    want = sum(
+        s for v, s in solution.vc_sizes.items()
+        if s > 0 and v in gp.vc_allocation
+    )
+    placed = sum(sum(p.values()) for p in gp.vc_allocation.values())
+    assert placed == pytest.approx(want, rel=0.05)

@@ -1,0 +1,165 @@
+"""Trace-driven simulator: LLC, engine, reconfiguration protocols."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.nuca import Cdcs, Jigsaw, build_problem
+from repro.sched.reconfigure import ReconfigPolicy, reconfigure
+from repro.sim import (
+    BackgroundInvalidations,
+    BulkInvalidations,
+    DistributedLLC,
+    InstantMoves,
+    build_trace_simulation,
+    scale_solution,
+    scaled_profile,
+    weighted_round_robin,
+)
+from repro.sim.stats import WindowedIpc
+from repro.workloads.mixes import make_mix
+from repro.workloads.profiles import get_profile
+
+MIX_NAMES = ["omnet", "milc", "gcc", "astar"]
+SCALE = 16
+
+
+@pytest.fixture()
+def sim_setup():
+    config = small_test_config(4, 4)
+    mix = make_mix(MIX_NAMES)
+    problem = build_problem(mix, config)
+    jig = Jigsaw("random", 3)
+    cores = jig.thread_cores(problem)
+    initial = jig.run(problem).solution
+    improved = reconfigure(
+        problem, ReconfigPolicy(True, False, True),
+        external_thread_cores=cores,
+    ).solution
+    return config, mix, problem, initial, improved
+
+
+def test_weighted_round_robin_exact_ratios():
+    picker = weighted_round_robin({1: 3.0, 2: 1.0})
+    picks = [picker() for _ in range(400)]
+    assert picks.count(1) == 300
+    assert picks.count(2) == 100
+    with pytest.raises(ValueError):
+        weighted_round_robin({1: 0.0})
+
+
+def test_windowed_ipc_trace():
+    w = WindowedIpc(window_cycles=100.0)
+    w.record(50, 20)
+    w.record(60, 20)
+    w.record(150, 10)
+    trace = w.trace()
+    assert trace == [(0.0, 0.4), (100.0, 0.1)]
+    assert w.mean_ipc(0, 100) == pytest.approx(0.4)
+    with pytest.raises(ValueError):
+        w.record(-1, 1)
+
+
+def test_scaled_profile_shrinks_footprints():
+    omnet = get_profile("omnet")
+    shrunk = scaled_profile(omnet, 8)
+    assert shrunk.private_curve.effective_footprint() == pytest.approx(
+        omnet.private_curve.effective_footprint() / 8
+    )
+    assert scaled_profile(omnet, 1) is omnet
+    with pytest.raises(ValueError):
+        scaled_profile(omnet, 0)
+
+
+def test_llc_configure_and_access(sim_setup):
+    config, mix, problem, initial, _ = sim_setup
+    llc = DistributedLLC(config, problem.topology, capacity_scale=SCALE)
+    llc.configure(scale_solution(initial, SCALE))
+    r1 = llc.access(0, 0, 1234)
+    assert not r1.hit
+    r2 = llc.access(0, 0, 1234)
+    assert r2.hit
+    assert r2.latency <= r1.latency
+    assert r2.offchip_latency == 0.0
+    assert llc.stats.hits == 1 and llc.stats.misses == 1
+
+
+def test_llc_rejects_bad_scale(sim_setup):
+    config, _, problem, _, _ = sim_setup
+    with pytest.raises(ValueError):
+        DistributedLLC(config, problem.topology, capacity_scale=0)
+
+
+def test_trace_sim_runs_and_accumulates(sim_setup):
+    config, mix, problem, initial, _ = sim_setup
+    sim = build_trace_simulation(
+        mix, config, initial, problem, capacity_scale=SCALE, seed=2
+    )
+    sim.run_until(100_000)
+    assert sim.llc.stats.accesses > 100
+    assert all(t.instructions > 0 for t in sim.threads)
+    assert sim.aggregate_ipc(20_000, 100_000) > 0
+    assert sim.llc.check_single_residency()
+
+
+@pytest.mark.parametrize("protocol_cls", [InstantMoves, BulkInvalidations,
+                                          BackgroundInvalidations])
+def test_reconfiguration_preserves_single_residency(sim_setup, protocol_cls):
+    config, mix, problem, initial, improved = sim_setup
+    sim = build_trace_simulation(
+        mix, config, initial, problem, capacity_scale=SCALE, seed=2
+    )
+    sim.schedule_reconfiguration(
+        150_000, scale_solution(improved, SCALE), protocol_cls()
+    )
+    sim.run_until(600_000)
+    assert sim.llc.check_single_residency()
+    assert not sim.llc.vtb.reconfiguring  # shadows eventually retired
+
+
+def test_bulk_invalidations_pause_cores(sim_setup):
+    config, mix, problem, initial, improved = sim_setup
+    sim = build_trace_simulation(
+        mix, config, initial, problem, capacity_scale=SCALE, seed=2
+    )
+    sim.schedule_reconfiguration(
+        150_000, scale_solution(improved, SCALE), BulkInvalidations()
+    )
+    sim.run_until(600_000)
+    pause_len = sim.pause_until - 150_000
+    assert pause_len > 20_000  # tens-of-Kcycles global pause (Sec IV-H)
+    during = sim.aggregate_ipc(150_000, sim.pause_until)
+    before = sim.aggregate_ipc(50_000, 150_000)
+    assert during < 0.5 * before  # the Fig 17 dip
+
+
+def test_background_invalidations_avoid_pause(sim_setup):
+    config, mix, problem, initial, improved = sim_setup
+    sim = build_trace_simulation(
+        mix, config, initial, problem, capacity_scale=SCALE, seed=2
+    )
+    sim.schedule_reconfiguration(
+        150_000, scale_solution(improved, SCALE),
+        BackgroundInvalidations(grace_cycles=10_000, step_cycles=50),
+    )
+    sim.run_until(700_000)
+    assert sim.pause_until == 0.0  # never pauses (Sec IV-H)
+    before = sim.aggregate_ipc(50_000, 150_000)
+    during = sim.aggregate_ipc(150_000, 250_000)
+    assert during > 0.7 * before  # smooth through the reconfiguration
+    stats = sim.llc.stats
+    assert stats.demand_moves + stats.background_invalidations > 0
+
+
+def test_instant_moves_migrate_lines(sim_setup):
+    config, mix, problem, initial, improved = sim_setup
+    sim = build_trace_simulation(
+        mix, config, initial, problem, capacity_scale=SCALE, seed=2
+    )
+    sim.run_until(150_000)
+    occupancy_before = sim.llc.total_occupancy()
+    InstantMoves().apply(sim.llc, scale_solution(improved, SCALE), 150_000.0)
+    # Moves must not lose undisplaced lines wholesale.
+    assert sim.llc.total_occupancy() >= occupancy_before * 0.4
+    assert sim.llc.check_single_residency()
+    sim.run_until(300_000)
+    assert sim.llc.stats.accesses > 0

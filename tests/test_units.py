@@ -1,0 +1,44 @@
+"""Unit conversion helpers (repro.util.units)."""
+
+import pytest
+
+from repro.util.units import (
+    CACHE_LINE_BYTES,
+    KB,
+    MB,
+    gbps_to_bytes_per_cycle,
+    kb,
+    lines,
+    mb,
+    ms_to_cycles,
+)
+
+
+def test_kb_mb_are_binary_units():
+    assert kb(1) == 1024
+    assert mb(1) == 1024 * 1024
+    assert mb(0.5) == 512 * KB
+
+
+def test_mb_is_1024_kb():
+    assert mb(3) == 3 * 1024 * KB == 3 * MB
+
+
+def test_lines_counts_64_byte_lines():
+    assert lines(kb(64)) == 1024
+    assert lines(CACHE_LINE_BYTES) == 1
+    assert lines(CACHE_LINE_BYTES - 1) == 0
+
+
+def test_table2_channel_bandwidth():
+    # 12.8 GB/s at 2 GHz = 6.4 bytes per cycle (Table 2).
+    assert gbps_to_bytes_per_cycle(12.8) == pytest.approx(6.4)
+
+
+def test_reconfiguration_interval_in_cycles():
+    # 25 ms at 2 GHz = 50 Mcycles (Sec III).
+    assert ms_to_cycles(25.0) == 50_000_000
+
+
+def test_ms_to_cycles_scales_with_clock():
+    assert ms_to_cycles(1.0, clock_hz=1_000_000_000) == 1_000_000
