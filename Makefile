@@ -1,0 +1,43 @@
+# Developer entry points.  Everything runs from the repo root with the
+# src/ layout on PYTHONPATH; no installation step exists or is needed.
+
+PY      := python
+PYPATH  := PYTHONPATH=src
+JOBS    ?= 2
+
+.PHONY: test test-fast bench-smoke bench docs-check check clean
+
+## Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYPATH) $(PY) -m pytest -x -q
+
+## The same suite minus the slow end-to-end tests.
+test-fast:
+	$(PYPATH) $(PY) -m pytest -x -q -m "not slow"
+
+## Fast end-to-end smoke of the parallel runner + caching through the CLI
+## and one real benchmark driver.
+bench-smoke:
+	rm -rf .repro-smoke-cache
+	$(PYPATH) $(PY) -m repro fig14 --mixes 2 --jobs $(JOBS) \
+	    --cache-dir .repro-smoke-cache
+	$(PYPATH) $(PY) -m repro fig14 --mixes 2 --jobs $(JOBS) \
+	    --cache-dir .repro-smoke-cache
+	rm -rf .repro-smoke-cache
+	$(PYPATH) REPRO_JOBS=$(JOBS) $(PY) -m pytest \
+	    benchmarks/bench_fig14_four_apps.py benchmarks/bench_gmon_vs_umon.py -q
+
+## The full paper-figure benchmark suite (slow; honest timings, no cache).
+bench:
+	$(PYPATH) REPRO_JOBS=$(JOBS) $(PY) -m pytest benchmarks/bench_*.py -q
+
+## Fail if README/docs code blocks reference CLI flags, experiments,
+## modules, or files that do not exist.
+docs-check:
+	$(PYPATH) $(PY) tools/docs_check.py
+
+check: test docs-check
+
+clean:
+	rm -rf .repro-cache .repro-smoke-cache benchmarks/benchmark_results.txt
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -19,12 +19,13 @@ from repro.experiments import format_breakdown, format_table, run_sweep
 N_MIXES = 50
 
 
-def run():
-    return run_sweep(default_config(), n_apps=64, n_mixes=N_MIXES, seed=42)
+def run(runner=None):
+    return run_sweep(default_config(), n_apps=64, n_mixes=N_MIXES, seed=42,
+                     runner=runner)
 
 
-def test_fig11_panels(once):
-    sweep = once(run)
+def test_fig11_panels(once, runner):
+    sweep = once(run, runner)
     schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
     rows = [
         (s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in schemes

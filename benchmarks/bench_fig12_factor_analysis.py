@@ -13,14 +13,15 @@ from repro.experiments import format_table, run_factor_analysis
 N_MIXES = 25
 
 
-def run(n_apps):
+def run(n_apps, runner=None):
     return run_factor_analysis(
-        default_config(), n_apps=n_apps, n_mixes=N_MIXES, seed=42
+        default_config(), n_apps=n_apps, n_mixes=N_MIXES, seed=42,
+        runner=runner,
     )
 
 
-def test_fig12a_64_apps(once):
-    result = once(run, 64)
+def test_fig12a_64_apps(once, runner):
+    result = once(run, 64, runner)
     gmeans = result.gmeans()
     emit(format_table(
         ["Variant", "gmean WS"], list(gmeans.items()),
@@ -33,8 +34,8 @@ def test_fig12a_64_apps(once):
     assert abs(gmeans["+L"] - gmeans["Jigsaw+R"]) < 0.05
 
 
-def test_fig12b_4_apps(once):
-    result = once(run, 4)
+def test_fig12b_4_apps(once, runner):
+    result = once(run, 4, runner)
     gmeans = result.gmeans()
     emit(format_table(
         ["Variant", "gmean WS"], list(gmeans.items()),

@@ -14,16 +14,17 @@ OCCUPANCIES = (1, 2, 4, 8, 16, 32, 64)
 N_MIXES = 15
 
 
-def run():
+def run(runner=None):
     config = default_config()
     out = {}
     for n_apps in OCCUPANCIES:
-        out[n_apps] = run_sweep(config, n_apps=n_apps, n_mixes=N_MIXES, seed=42)
+        out[n_apps] = run_sweep(config, n_apps=n_apps, n_mixes=N_MIXES,
+                                seed=42, runner=runner)
     return out
 
 
-def test_fig13_undercommitted(once):
-    sweeps = once(run)
+def test_fig13_undercommitted(once, runner):
+    sweeps = once(run, runner)
     schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
     rows = []
     for n_apps, sweep in sweeps.items():

@@ -13,12 +13,13 @@ from repro.experiments import format_breakdown, format_table, run_sweep
 N_MIXES = 30
 
 
-def run():
-    return run_sweep(default_config(), n_apps=4, n_mixes=N_MIXES, seed=42)
+def run(runner=None):
+    return run_sweep(default_config(), n_apps=4, n_mixes=N_MIXES, seed=42,
+                     runner=runner)
 
 
-def test_fig14_four_app_mixes(once):
-    sweep = once(run)
+def test_fig14_four_app_mixes(once, runner):
+    sweep = once(run, runner)
     schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
     rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in schemes]
     emit(format_table(

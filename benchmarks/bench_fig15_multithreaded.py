@@ -13,15 +13,15 @@ from repro.experiments import format_breakdown, format_table, run_sweep
 N_MIXES = 30
 
 
-def run():
+def run(runner=None):
     return run_sweep(
         default_config(), n_apps=8, n_mixes=N_MIXES, seed=42,
-        multithreaded=True,
+        multithreaded=True, runner=runner,
     )
 
 
-def test_fig15_multithreaded(once):
-    sweep = once(run)
+def test_fig15_multithreaded(once, runner):
+    sweep = once(run, runner)
     schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
     rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in schemes]
     emit(format_table(

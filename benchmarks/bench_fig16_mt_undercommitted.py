@@ -17,10 +17,10 @@ from repro.workloads import fig16_case_study_mix
 N_MIXES = 30
 
 
-def run_sweep_fig16():
+def run_sweep_fig16(runner=None):
     return run_sweep(
         default_config(), n_apps=4, n_mixes=N_MIXES, seed=42,
-        multithreaded=True,
+        multithreaded=True, runner=runner,
     )
 
 
@@ -34,8 +34,8 @@ def run_case_study_fig16b():
     return result, evaluations
 
 
-def test_fig16a_undercommitted_mt(once):
-    sweep = once(run_sweep_fig16)
+def test_fig16a_undercommitted_mt(once, runner):
+    sweep = once(run_sweep_fig16, runner)
     schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
     rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in schemes]
     emit(format_table(

@@ -10,26 +10,25 @@ from conftest import emit
 from repro.experiments import (
     PROTOCOLS,
     format_series,
-    run_reconfig_trace,
+    reconfig_trace_jobs,
 )
+from repro.runner import run_jobs
 
 RECONFIG_AT = 300_000.0
 HORIZON = 900_000.0
 SCALE = 16
 
 
-def run():
-    return {
-        name: run_reconfig_trace(
-            name, reconfig_at=RECONFIG_AT, horizon=HORIZON,
-            capacity_scale=SCALE, seed=5,
-        )
-        for name in PROTOCOLS
-    }
+def run(runner=None):
+    jobs = reconfig_trace_jobs(
+        reconfig_at=RECONFIG_AT, horizon=HORIZON, capacity_scale=SCALE,
+        seed=5,
+    )
+    return dict(zip(PROTOCOLS, run_jobs(jobs, runner)))
 
 
-def test_fig17_reconfiguration_trace(once):
-    traces = once(run)
+def test_fig17_reconfiguration_trace(once, runner):
+    traces = once(run, runner)
     for name, trace in traces.items():
         decim = trace.trace[:: max(len(trace.trace) // 18, 1)]
         emit(format_series(

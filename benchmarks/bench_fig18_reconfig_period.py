@@ -14,12 +14,13 @@ from repro.experiments import format_table, run_period_sweep
 STEADY_WS = 1.46
 
 
-def run():
-    return run_period_sweep(steady_ws=STEADY_WS, capacity_scale=16, seed=5)
+def run(runner=None):
+    return run_period_sweep(steady_ws=STEADY_WS, capacity_scale=16, seed=5,
+                            runner=runner)
 
 
-def test_fig18_period_sweep(once):
-    result = once(run)
+def test_fig18_period_sweep(once, runner):
+    result = once(run, runner)
     emit(
         "Fig18 per-reconfiguration penalty (equivalent lost cycles): "
         + ", ".join(f"{k}={v:,.0f}" for k, v in result.penalties.items())

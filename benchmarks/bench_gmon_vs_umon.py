@@ -15,18 +15,19 @@ from repro.workloads import get_profile
 APPS = ("astar", "omnet", "gcc")
 
 
-def run():
+def run(runner=None):
     out = {}
     for app in APPS:
         out[app] = run_monitor_comparison(
             get_profile(app), llc_bytes=mb(32), accesses=40_000,
+            runner=runner,
         )
     return out
 
 
-def test_gmon_vs_umon(once):
+def test_gmon_vs_umon(once, runner):
     assert required_umon_ways(mb(32), kb(64)) == 512  # the Sec IV-G example
-    results = once(run)
+    results = once(run, runner)
     rows = []
     for app, accs in results.items():
         for acc in accs:

@@ -13,14 +13,15 @@ from repro.config import default_config
 from repro.experiments import format_table, run_placer_comparison
 
 
-def run():
+def run(runner=None):
     return run_placer_comparison(
-        default_config(), n_apps=32, seed=42, mix_id=0, anneal_rounds=5000
+        default_config(), n_apps=32, seed=42, mix_id=0, anneal_rounds=5000,
+        runner=runner,
     )
 
 
-def test_placer_comparison(once):
-    outcomes = once(run)
+def test_placer_comparison(once, runner):
+    outcomes = once(run, runner)
     rows = [
         (o.name, o.weighted_speedup, o.onchip_cost / 1e3, o.wall_seconds)
         for o in outcomes

@@ -2,18 +2,31 @@
 
 Every benchmark regenerates one of the paper's tables or figures and prints
 the same rows/series the paper reports (values are from our simulated
-substrate — see EXPERIMENTS.md for the paper-vs-measured record).  Heavy
-experiments run once per benchmark (`pedantic`, one round).
+substrate — see docs/REPRODUCING.md for the paper-vs-measured record).
+Heavy experiments run once per benchmark (`pedantic`, one round).
+
+Sweep-shaped benchmarks submit their points through
+``repro.runner.ProcessPoolRunner`` (the ``runner`` fixture).  Two
+environment variables control it:
+
+* ``REPRO_JOBS=N`` — fan jobs out over N worker processes (default 1;
+  results are identical at any N, only the wall clock changes);
+* ``REPRO_CACHE_DIR=path`` — enable the content-hashed result cache, so a
+  re-run recomputes only changed points.  Off by default: a cached
+  benchmark's timing measures pickle loads, not simulation.
 
 Emitted tables go to stderr *and* are appended to
 ``benchmarks/benchmark_results.txt`` so the regenerated figures survive
 pytest's output capture.
 """
 
+import os
 import sys
 from pathlib import Path
 
 import pytest
+
+from repro.runner import ProcessPoolRunner, ResultStore
 
 RESULTS_PATH = Path(__file__).parent / "benchmark_results.txt"
 
@@ -27,6 +40,20 @@ def emit(text: str) -> None:
     print(text, file=sys.stderr)
     with RESULTS_PATH.open("a") as fh:
         fh.write(text + "\n")
+
+
+def make_runner() -> ProcessPoolRunner:
+    """Build the benchmark runner from REPRO_JOBS / REPRO_CACHE_DIR."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "")
+    store = ResultStore(cache_dir) if cache_dir else None
+    return ProcessPoolRunner(jobs=jobs, store=store)
+
+
+@pytest.fixture
+def runner() -> ProcessPoolRunner:
+    """A fresh runner per benchmark (stats stay per-figure)."""
+    return make_runner()
 
 
 @pytest.fixture

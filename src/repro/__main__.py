@@ -2,34 +2,47 @@
 
 Usage::
 
-    python -m repro table1              # the 36-tile case study
-    python -m repro fig13 --mixes 8     # occupancy sweep
-    python -m repro table3              # reconfiguration runtime
-    python -m repro fig17               # reconfiguration IPC traces
-    python -m repro list                # all available experiments
+    python -m repro table1                 # the 36-tile case study
+    python -m repro fig13 --mixes 8        # occupancy sweep
+    python -m repro fig11 --jobs 4         # fan mixes out over 4 workers
+    python -m repro fig11 --cache-dir .repro-cache   # memoize job results
+    python -m repro fig17 --no-cache       # force recomputation
+    python -m repro table3                 # reconfiguration runtime
+    python -m repro list                   # all available experiments
+
+Sweep-shaped experiments submit one job per point through
+``repro.runner.ProcessPoolRunner``: ``--jobs N`` parallelizes across N
+worker processes (results are bitwise identical to ``--jobs 1``), and the
+content-hashed result cache under ``--cache-dir`` makes reruns only execute
+changed points.  A progress line on stderr reports jobs done/total and
+cache hits.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.config import default_config
 from repro.experiments import (
-    PROTOCOLS,
     format_series,
     format_table,
+    reconfig_trace_jobs,
     run_case_study,
     run_factor_analysis,
     run_monitor_comparison,
-    run_reconfig_trace,
     run_sweep,
     run_table3,
 )
+from repro.runner import ProcessPoolRunner, ResultStore, run_jobs
 from repro.util.units import mb
 from repro.workloads import get_profile
 
 SCHEMES = ("R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
+
+#: Default location of the content-hashed result cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def cmd_table1(args) -> None:
@@ -43,7 +56,7 @@ def cmd_table1(args) -> None:
 def cmd_sweep(args, n_apps: int, multithreaded: bool = False) -> None:
     sweep = run_sweep(
         default_config(), n_apps=n_apps, n_mixes=args.mixes, seed=args.seed,
-        multithreaded=multithreaded,
+        multithreaded=multithreaded, runner=args.runner,
     )
     rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in SCHEMES]
     kind = "8-thread" if multithreaded else "single-threaded"
@@ -56,7 +69,8 @@ def cmd_sweep(args, n_apps: int, multithreaded: bool = False) -> None:
 def cmd_fig12(args) -> None:
     for n_apps in (64, 4):
         result = run_factor_analysis(
-            default_config(), n_apps=n_apps, n_mixes=args.mixes, seed=args.seed
+            default_config(), n_apps=n_apps, n_mixes=args.mixes,
+            seed=args.seed, runner=args.runner,
         )
         print(format_table(
             ["Variant", "gmean WS"], list(result.gmeans().items()),
@@ -68,17 +82,18 @@ def cmd_fig13(args) -> None:
     rows = []
     for n_apps in (1, 2, 4, 8, 16, 32, 64):
         sweep = run_sweep(default_config(), n_apps=n_apps,
-                          n_mixes=args.mixes, seed=args.seed)
+                          n_mixes=args.mixes, seed=args.seed,
+                          runner=args.runner)
         rows.append((f"{n_apps}", *(sweep.gmean_speedup(s) for s in SCHEMES)))
     print(format_table(["apps"] + list(SCHEMES), rows,
                        title="Fig 13: gmean WS vs occupancy"))
 
 
 def cmd_fig17(args) -> None:
-    for name in PROTOCOLS:
-        trace = run_reconfig_trace(name, capacity_scale=16, seed=args.seed)
+    jobs = reconfig_trace_jobs(capacity_scale=16, seed=args.seed)
+    for trace in run_jobs(jobs, args.runner):
         print(format_series(
-            f"{name} (Mcycle, IPC)",
+            f"{trace.protocol} (Mcycle, IPC)",
             [(t / 1e6, v) for t, v in
              trace.trace[:: max(len(trace.trace) // 15, 1)]],
             fmt="{:.2f}",
@@ -96,7 +111,8 @@ def cmd_table3(args) -> None:
 
 
 def cmd_gmon(args) -> None:
-    for acc in run_monitor_comparison(get_profile("astar"), mb(32)):
+    for acc in run_monitor_comparison(get_profile("astar"), mb(32),
+                                      runner=args.runner):
         print(f"{acc.monitor_kind}-{acc.ways}: "
               f"MAE={acc.mean_abs_error:.3f} "
               f"small-size MAE={acc.small_size_error:.3f}")
@@ -116,6 +132,33 @@ COMMANDS = {
 }
 
 
+def _progress_printer(stream=None):
+    """Return a runner progress callback writing a live line to *stream*."""
+    stream = stream if stream is not None else sys.stderr
+
+    def show(stats) -> None:
+        end = "\n" if stats.completed == stats.submitted else "\r"
+        print(
+            f"[repro] {stats.completed}/{stats.submitted} jobs done "
+            f"({stats.cached} cache hits, {stats.executed} executed)",
+            end=end, file=stream, flush=True,
+        )
+
+    return show
+
+
+def build_runner(
+    jobs: int = 1,
+    cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
+    no_cache: bool = False,
+    quiet: bool = False,
+) -> ProcessPoolRunner:
+    """Construct the runner the CLI (and tests) hand to experiments."""
+    store = None if (no_cache or cache_dir is None) else ResultStore(cache_dir)
+    progress = None if quiet else _progress_printer()
+    return ProcessPoolRunner(jobs=jobs, store=store, progress=progress)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -125,11 +168,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mixes", type=int, default=10,
                         help="random mixes per data point (default 10)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep jobs (default 1; "
+                             "results are identical at any N)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="directory of the content-hashed result cache "
+                             f"(default {DEFAULT_CACHE_DIR!r})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache: recompute and do "
+                             "not persist any job output")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.experiment == "list":
         print("available experiments:", ", ".join(sorted(COMMANDS)))
         return 0
+    args.runner = build_runner(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
     COMMANDS[args.experiment](args)
+    stats = args.runner.stats
+    if stats.submitted:
+        print(f"[repro] total: {stats.summary()}", file=sys.stderr)
     return 0
 
 

@@ -6,7 +6,7 @@ partition sizes with negligible hardware and near-full associativity; its
 *behavioral contract* — each partition behaves like an isolated cache of
 its configured size — is what CDCS builds on.  We implement that contract
 directly: each bank holds named partitions, each an LRU cache with a
-line-count quota (see DESIGN.md, substitution table).
+line-count quota (see the substitution notes in docs/ARCHITECTURE.md).
 
 Banks also expose the hooks reconfiguration needs (Sec IV-H): lines can be
 extracted ("moved") with their coherence state, partitions can be resized

@@ -51,6 +51,11 @@ class MissCurve:
             return float(result)
         return result
 
+    def cache_key(self) -> tuple:
+        """Content identity for the runner's result cache (the sampled
+        points fully determine the curve)."""
+        return (self.sizes, self.values)
+
     @property
     def max_size(self) -> float:
         return float(self.sizes[-1])

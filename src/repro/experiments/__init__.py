@@ -1,5 +1,11 @@
 """Per-experiment harnesses: one module per paper table/figure (see the
-DESIGN.md experiment index)."""
+figure index in docs/REPRODUCING.md).
+
+Sweep-shaped experiments expose both a ``run_*`` entry point (taking an
+optional ``runner=``) and a ``*_jobs`` builder returning the raw
+:class:`repro.runner.Job` list, so callers can compose fan-outs across
+experiments before handing them to one runner.
+"""
 
 from repro.experiments.case_study import (
     CaseStudyResult,
@@ -9,26 +15,42 @@ from repro.experiments.case_study import (
 from repro.experiments.factor_analysis import (
     VARIANTS,
     FactorResult,
+    factor_jobs,
     run_factor_analysis,
 )
 from repro.experiments.monitors_study import (
+    GEOMETRIES,
     MonitorAccuracy,
     curve_error,
+    monitor_jobs,
     monitored_curve,
     run_monitor_comparison,
 )
-from repro.experiments.placers_study import PlacerOutcome, run_placer_comparison
+from repro.experiments.placers_study import (
+    PLACERS,
+    PlacerOutcome,
+    placer_jobs,
+    run_placer_comparison,
+)
 from repro.experiments.reconfig_study import (
     PROTOCOLS,
     PeriodSweepResult,
     ReconfigTrace,
     default_trace_mix,
+    reconfig_trace_jobs,
     reconfiguration_penalty_cycles,
     run_period_sweep,
     run_reconfig_trace,
 )
 from repro.experiments.report import format_breakdown, format_series, format_table
-from repro.experiments.sweeps import SweepResult, evaluate_mix, run_sweep
+from repro.experiments.sweeps import (
+    SweepResult,
+    evaluate_mix,
+    merge_mix_record,
+    mix_record,
+    run_sweep,
+    sweep_jobs,
+)
 from repro.experiments.table3 import (
     OPERATING_POINTS,
     RuntimeRow,
@@ -38,8 +60,10 @@ from repro.experiments.table3 import (
 __all__ = [
     "CaseStudyResult",
     "FactorResult",
+    "GEOMETRIES",
     "MonitorAccuracy",
     "OPERATING_POINTS",
+    "PLACERS",
     "PROTOCOLS",
     "PeriodSweepResult",
     "PlacerOutcome",
@@ -50,10 +74,16 @@ __all__ = [
     "curve_error",
     "default_trace_mix",
     "evaluate_mix",
+    "factor_jobs",
     "format_breakdown",
     "format_series",
     "format_table",
+    "merge_mix_record",
+    "mix_record",
+    "monitor_jobs",
     "monitored_curve",
+    "placer_jobs",
+    "reconfig_trace_jobs",
     "reconfiguration_penalty_cycles",
     "render_chip_map",
     "run_case_study",

@@ -11,9 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import SystemConfig
-from repro.experiments.sweeps import SweepResult, evaluate_mix
+from repro.experiments.sweeps import (
+    SweepResult,
+    evaluate_mix,
+    merge_mix_record,
+    mix_record,
+)
 from repro.model.system import AnalyticSystem
 from repro.nuca.cdcs import factor_variant
+from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.workloads.mixes import random_single_threaded_mix
 
 VARIANTS: list[tuple[str, tuple[bool, bool, bool]]] = [
@@ -44,15 +50,52 @@ def _variant_name(label: str) -> str:
     return f"Jigsaw+R{label}"
 
 
+def _factor_point(
+    config: SystemConfig, n_apps: int, seed: int, mix_id: int
+) -> dict:
+    """Job body: evaluate all Fig 12 variants on one random mix."""
+    mix = random_single_threaded_mix(n_apps, seed, mix_id)
+    schemes = []
+    for label, (lat, thr, dat) in VARIANTS:
+        scheme = factor_variant(lat, thr, dat, seed=mix_id)
+        scheme.name = _variant_name(label)
+        schemes.append(scheme)
+    single = SweepResult(n_apps=n_apps, n_mixes=1)
+    evaluate_mix(config, mix, single, seed=mix_id, schemes=schemes)
+    return mix_record(single)
+
+
+def factor_jobs(
+    config: SystemConfig, n_apps: int, n_mixes: int = 50, seed: int = 42
+) -> list[Job]:
+    """One :class:`Job` per mix of the factor analysis."""
+    return [
+        Job(
+            fn=_factor_point,
+            kwargs=dict(
+                config=config, n_apps=n_apps, seed=seed, mix_id=mix_id
+            ),
+            seed=seed,
+            label=f"factor-{n_apps}apps-mix{mix_id}",
+        )
+        for mix_id in range(n_mixes)
+    ]
+
+
 def run_factor_analysis(
     config: SystemConfig,
     n_apps: int,
     n_mixes: int = 50,
     seed: int = 42,
     system: AnalyticSystem | None = None,
+    runner: ProcessPoolRunner | None = None,
 ) -> FactorResult:
-    system = system or AnalyticSystem(config)
     result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
+    if system is None:
+        jobs = factor_jobs(config, n_apps, n_mixes, seed)
+        for record in run_jobs(jobs, runner):
+            merge_mix_record(result, record)
+        return FactorResult(n_apps=n_apps, sweep=result)
     for mix_id in range(n_mixes):
         mix = random_single_threaded_mix(n_apps, seed, mix_id)
         schemes = []

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.cache.miss_curve import MissCurve
 from repro.cache.monitor import GMon, UMon
+from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.workloads.generator import StackDistanceStream
 from repro.workloads.profiles import AppProfile
 
@@ -59,37 +60,78 @@ def curve_error(
     return float(err.mean()), float(err[:small].mean())
 
 
+#: The geometries every comparison measures: (kind, ways).
+GEOMETRIES: tuple[tuple[str, int], ...] = (
+    ("UMON", 64),
+    ("UMON", 256),
+    ("GMON", 64),
+)
+
+
+def _monitor_point(
+    profile: AppProfile,
+    llc_bytes: float,
+    kind: str,
+    ways: int,
+    accesses: int,
+    footprint_scale: int,
+    seed: int,
+) -> MonitorAccuracy:
+    """Job body: drive one monitor geometry over one app's stream."""
+    scale = footprint_scale
+    curve = profile.private_curve.scaled_sizes(1.0 / scale)
+    coverage = llc_bytes / scale
+    first_way = coverage / 512  # the 64 KB-grain requirement, scaled
+    if kind == "GMON":
+        monitor: UMon = GMon(first_way, coverage, ways=ways, seed=7)
+    else:
+        monitor = UMon(coverage, ways=ways, seed=7)
+    stream = StackDistanceStream(curve, apki=profile.llc_apki, seed=seed)
+    mon_curve = monitored_curve(monitor, stream, accesses)
+    overall, small = curve_error(mon_curve, curve, profile.llc_apki, coverage)
+    return MonitorAccuracy(
+        monitor_kind=kind,
+        ways=monitor.ways,
+        mean_abs_error=overall,
+        small_size_error=small,
+    )
+
+
+def monitor_jobs(
+    profile: AppProfile,
+    llc_bytes: float,
+    accesses: int = 60_000,
+    footprint_scale: int = 16,
+    seed: int = 3,
+) -> list[Job]:
+    """One :class:`Job` per monitor geometry in :data:`GEOMETRIES`."""
+    return [
+        Job(
+            fn=_monitor_point,
+            kwargs=dict(
+                profile=profile,
+                llc_bytes=llc_bytes,
+                kind=kind,
+                ways=ways,
+                accesses=accesses,
+                footprint_scale=footprint_scale,
+                seed=seed,
+            ),
+            seed=seed,
+            label=f"monitor-{profile.name}-{kind}-{ways}",
+        )
+        for kind, ways in GEOMETRIES
+    ]
+
+
 def run_monitor_comparison(
     profile: AppProfile,
     llc_bytes: float,
     accesses: int = 60_000,
     footprint_scale: int = 16,
     seed: int = 3,
+    runner: ProcessPoolRunner | None = None,
 ) -> list[MonitorAccuracy]:
     """Compare monitor geometries on one app's (scaled) stream."""
-    scale = footprint_scale
-    curve = profile.private_curve.scaled_sizes(1.0 / scale)
-    coverage = llc_bytes / scale
-    first_way = coverage / 512  # the 64 KB-grain requirement, scaled
-    stream_args = dict(apki=profile.llc_apki, seed=seed)
-    results = []
-    configs = [
-        ("UMON", UMon(coverage, ways=64, seed=7)),
-        ("UMON", UMon(coverage, ways=256, seed=7)),
-        ("GMON", GMon(first_way, coverage, ways=64, seed=7)),
-    ]
-    for kind, monitor in configs:
-        stream = StackDistanceStream(curve, **stream_args)
-        mon_curve = monitored_curve(monitor, stream, accesses)
-        overall, small = curve_error(
-            mon_curve, curve, profile.llc_apki, coverage
-        )
-        results.append(
-            MonitorAccuracy(
-                monitor_kind=kind,
-                ways=monitor.ways,
-                mean_abs_error=overall,
-                small_size_error=small,
-            )
-        )
-    return results
+    jobs = monitor_jobs(profile, llc_bytes, accesses, footprint_scale, seed)
+    return run_jobs(jobs, runner)

@@ -5,6 +5,12 @@ LP-optimal data placement (the ILP stand-in), a 5000-round simulated-
 annealing thread placer, and recursive-bisection graph partitioning.
 The paper's findings to reproduce: all three are within ~0-1% of CDCS on
 quality while costing orders of magnitude more runtime.
+
+Each comparator runs as its own :class:`repro.runner.Job` (re-deriving the
+cheap CDCS starting point locally), so the expensive placers fan out
+across workers and memoize independently.  Note that ``wall_seconds`` is
+part of the cached payload: a cache hit replays the timing measured when
+the job actually ran.
 """
 
 from __future__ import annotations
@@ -21,9 +27,14 @@ from repro.nuca.snuca import SNuca
 from repro.placers.annealing import anneal_thread_placement
 from repro.placers.graph_partition import graph_partition_placement
 from repro.placers.linear_program import lp_data_placement
+from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.sched.cost_model import on_chip_latency
 from repro.sched.problem import PlacementSolution
 from repro.workloads.mixes import random_single_threaded_mix
+
+#: The comparison's rows, in the paper's presentation order.
+PLACERS = ("CDCS", "LP data placement", "Simulated annealing",
+           "Graph partitioning")
 
 
 @dataclass
@@ -34,74 +45,117 @@ class PlacerOutcome:
     wall_seconds: float
 
 
-def run_placer_comparison(
+def _placer_point(
     config: SystemConfig,
-    n_apps: int = 16,
-    seed: int = 42,
-    mix_id: int = 0,
-    anneal_rounds: int = 5000,
-) -> list[PlacerOutcome]:
-    """Evaluate CDCS vs LP / annealing / graph partitioning on one mix."""
+    placer: str,
+    n_apps: int,
+    seed: int,
+    mix_id: int,
+    anneal_rounds: int,
+) -> PlacerOutcome:
+    """Job body: evaluate one placer on one mix.
+
+    Every job recomputes CDCS's (cheap, deterministic) solution as the
+    comparator's starting point; only the named placer's own runtime is
+    reported as ``wall_seconds``.
+    """
     system = AnalyticSystem(config)
     mix = random_single_threaded_mix(n_apps, seed, mix_id)
     problem = build_problem(mix, config)
     alone = system.alone_performance(mix)
     baseline = system.evaluate(mix, SNuca(mix_id))
 
-    outcomes = []
-
-    def record(name: str, solution: PlacementSolution, wall: float) -> None:
-        evaluation = system.evaluate_solution(
-            mix, problem, SchemeResult(name, solution)
-        )
-        outcomes.append(
-            PlacerOutcome(
-                name=name,
-                weighted_speedup=weighted_speedup(evaluation, baseline, alone),
-                onchip_cost=on_chip_latency(problem, solution),
-                wall_seconds=wall,
-            )
-        )
-
     t0 = time.perf_counter()
     cdcs = Cdcs(seed=mix_id).run(problem)
     cdcs_wall = time.perf_counter() - t0
-    record("CDCS", cdcs.solution, cdcs_wall)
 
-    # LP-optimal data placement on CDCS's sizes and thread placement.
-    t0 = time.perf_counter()
-    lp_alloc = lp_data_placement(
-        problem, cdcs.solution.vc_sizes, cdcs.solution.thread_cores
-    )
-    lp_solution = PlacementSolution(
-        vc_sizes={vc: sum(p.values()) for vc, p in lp_alloc.items()},
-        vc_allocation=lp_alloc,
-        thread_cores=dict(cdcs.solution.thread_cores),
-    )
-    record("LP data placement", lp_solution, time.perf_counter() - t0)
+    if placer == "CDCS":
+        solution, wall = cdcs.solution, cdcs_wall
+    elif placer == "LP data placement":
+        # LP-optimal data placement on CDCS's sizes and thread placement.
+        t0 = time.perf_counter()
+        lp_alloc = lp_data_placement(
+            problem, cdcs.solution.vc_sizes, cdcs.solution.thread_cores
+        )
+        solution = PlacementSolution(
+            vc_sizes={vc: sum(p.values()) for vc, p in lp_alloc.items()},
+            vc_allocation=lp_alloc,
+            thread_cores=dict(cdcs.solution.thread_cores),
+        )
+        wall = time.perf_counter() - t0
+    elif placer == "Simulated annealing":
+        # Annealed thread placement over CDCS's data placement.
+        t0 = time.perf_counter()
+        anneal = anneal_thread_placement(
+            problem,
+            cdcs.solution.vc_allocation,
+            cdcs.solution.thread_cores,
+            rounds=anneal_rounds,
+            seed=seed,
+        )
+        solution = PlacementSolution(
+            vc_sizes=dict(cdcs.solution.vc_sizes),
+            vc_allocation={
+                vc: dict(p) for vc, p in cdcs.solution.vc_allocation.items()
+            },
+            thread_cores=anneal.thread_cores,
+        )
+        wall = time.perf_counter() - t0
+    elif placer == "Graph partitioning":
+        # Joint graph partitioning from CDCS's sizes.
+        t0 = time.perf_counter()
+        graph_solution = graph_partition_placement(
+            problem, cdcs.solution.vc_sizes, seed=seed
+        )
+        solution, wall = graph_solution, time.perf_counter() - t0
+    else:
+        raise ValueError(f"unknown placer {placer!r}")
 
-    # Annealed thread placement over CDCS's data placement.
-    t0 = time.perf_counter()
-    anneal = anneal_thread_placement(
-        problem,
-        cdcs.solution.vc_allocation,
-        cdcs.solution.thread_cores,
-        rounds=anneal_rounds,
-        seed=seed,
+    evaluation = system.evaluate_solution(
+        mix, problem, SchemeResult(placer, solution)
     )
-    anneal_solution = PlacementSolution(
-        vc_sizes=dict(cdcs.solution.vc_sizes),
-        vc_allocation={
-            vc: dict(p) for vc, p in cdcs.solution.vc_allocation.items()
-        },
-        thread_cores=anneal.thread_cores,
+    return PlacerOutcome(
+        name=placer,
+        weighted_speedup=weighted_speedup(evaluation, baseline, alone),
+        onchip_cost=on_chip_latency(problem, solution),
+        wall_seconds=wall,
     )
-    record("Simulated annealing", anneal_solution, time.perf_counter() - t0)
 
-    # Joint graph partitioning from CDCS's sizes.
-    t0 = time.perf_counter()
-    graph_solution = graph_partition_placement(
-        problem, cdcs.solution.vc_sizes, seed=seed
-    )
-    record("Graph partitioning", graph_solution, time.perf_counter() - t0)
-    return outcomes
+
+def placer_jobs(
+    config: SystemConfig,
+    n_apps: int = 16,
+    seed: int = 42,
+    mix_id: int = 0,
+    anneal_rounds: int = 5000,
+) -> list[Job]:
+    """One :class:`Job` per comparator in :data:`PLACERS`."""
+    return [
+        Job(
+            fn=_placer_point,
+            kwargs=dict(
+                config=config,
+                placer=placer,
+                n_apps=n_apps,
+                seed=seed,
+                mix_id=mix_id,
+                anneal_rounds=anneal_rounds,
+            ),
+            seed=seed,
+            label=f"placer-{placer}",
+        )
+        for placer in PLACERS
+    ]
+
+
+def run_placer_comparison(
+    config: SystemConfig,
+    n_apps: int = 16,
+    seed: int = 42,
+    mix_id: int = 0,
+    anneal_rounds: int = 5000,
+    runner: ProcessPoolRunner | None = None,
+) -> list[PlacerOutcome]:
+    """Evaluate CDCS vs LP / annealing / graph partitioning on one mix."""
+    jobs = placer_jobs(config, n_apps, seed, mix_id, anneal_rounds)
+    return run_jobs(jobs, runner)

@@ -25,6 +25,7 @@ from repro.sim.reconfig import (
     InstantMoves,
     MovementProtocol,
 )
+from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.sim.setup import build_trace_simulation, scale_solution
 from repro.workloads.mixes import Mix, make_mix
 
@@ -115,6 +116,39 @@ def run_reconfig_trace(
     )
 
 
+def reconfig_trace_jobs(
+    config: SystemConfig | None = None,
+    mix: Mix | None = None,
+    reconfig_at: float = 400_000.0,
+    horizon: float = 1_000_000.0,
+    capacity_scale: int = 16,
+    seed: int = 5,
+    protocols: tuple[str, ...] = PROTOCOLS,
+) -> list[Job]:
+    """One :class:`Job` per movement protocol (the Fig 17 fan-out).
+
+    The trace simulations are independent across protocols, so they are
+    the natural parallel/cacheable unit of Figs 17 and 18.
+    """
+    return [
+        Job(
+            fn=run_reconfig_trace,
+            kwargs=dict(
+                protocol_name=name,
+                config=config,
+                mix=mix,
+                reconfig_at=reconfig_at,
+                horizon=horizon,
+                capacity_scale=capacity_scale,
+                seed=seed,
+            ),
+            seed=seed,
+            label=f"reconfig-trace-{name}",
+        )
+        for name in protocols
+    ]
+
+
 def reconfiguration_penalty_cycles(
     traces: dict[str, ReconfigTrace]
 ) -> dict[str, float]:
@@ -144,6 +178,7 @@ def run_period_sweep(
     mix: Mix | None = None,
     capacity_scale: int = 16,
     seed: int = 5,
+    runner: ProcessPoolRunner | None = None,
 ) -> PeriodSweepResult:
     """Fig 18: WS vs reconfiguration period for the three protocols.
 
@@ -151,13 +186,10 @@ def run_period_sweep(
     analytic model, e.g. ~1.46 at 64 apps); each protocol's measured
     per-reconfiguration penalty is amortized over the period.
     """
-    traces = {
-        name: run_reconfig_trace(
-            name, config=config, mix=mix,
-            capacity_scale=capacity_scale, seed=seed,
-        )
-        for name in PROTOCOLS
-    }
+    jobs = reconfig_trace_jobs(
+        config=config, mix=mix, capacity_scale=capacity_scale, seed=seed
+    )
+    traces = dict(zip(PROTOCOLS, run_jobs(jobs, runner)))
     penalties = reconfiguration_penalty_cycles(traces)
     speedups: dict[int, dict[str, float]] = {}
     for period in periods:

@@ -4,6 +4,12 @@
 weighted speedups plus the latency / traffic / energy aggregates the
 paper's figure panels report.  Single- and multi-threaded pools share the
 same machinery.
+
+Each mix is one :class:`repro.runner.Job` (:func:`sweep_jobs` builds the
+job list, :func:`_mix_point` is the job body), so a sweep parallelizes
+across ``--jobs`` workers and memoizes per-mix results in the runner's
+cache; pass ``runner=`` to exploit that, or call ``run_sweep`` without one
+for the classic serial in-process path — both produce identical numbers.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from repro.model.metrics import gmean, inverse_cdf, weighted_speedup
 from repro.model.system import AnalyticSystem, MixEvaluation
 from repro.nuca.base import NucaScheme
 from repro.nuca import standard_schemes
+from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.workloads.mixes import (
     Mix,
     random_multithreaded_mix,
@@ -90,6 +97,81 @@ def _record(
     result.energy.setdefault(name, []).append(evaluation.energy.as_dict())
 
 
+def mix_record(result: SweepResult, mix_index: int = 0) -> dict:
+    """Extract one mix's rows from *result* as a plain, picklable dict.
+
+    This is the payload a sweep job returns (and the cache persists):
+    scheme-keyed scalars/breakdowns for exactly one evaluated mix.
+    """
+    return {
+        "speedups": {s: v[mix_index] for s, v in result.speedups.items()},
+        "onchip": {s: v[mix_index] for s, v in result.onchip_latency.items()},
+        "offchip": {
+            s: v[mix_index] for s, v in result.offchip_latency.items()
+        },
+        "traffic": {s: v[mix_index] for s, v in result.traffic.items()},
+        "energy": {s: v[mix_index] for s, v in result.energy.items()},
+    }
+
+
+def merge_mix_record(result: SweepResult, record: dict) -> None:
+    """Append one job's :func:`mix_record` payload onto *result*."""
+    for scheme, value in record["speedups"].items():
+        result.speedups.setdefault(scheme, []).append(value)
+    for scheme, value in record["onchip"].items():
+        result.onchip_latency.setdefault(scheme, []).append(value)
+        result.offchip_latency.setdefault(scheme, []).append(
+            record["offchip"][scheme]
+        )
+        result.traffic.setdefault(scheme, []).append(
+            record["traffic"][scheme]
+        )
+        result.energy.setdefault(scheme, []).append(record["energy"][scheme])
+
+
+def _mix_point(
+    config: SystemConfig,
+    n_apps: int,
+    seed: int,
+    mix_id: int,
+    multithreaded: bool,
+) -> dict:
+    """Job body: evaluate all standard schemes on one random mix."""
+    if multithreaded:
+        mix = random_multithreaded_mix(n_apps, seed, mix_id)
+    else:
+        mix = random_single_threaded_mix(n_apps, seed, mix_id)
+    single = SweepResult(n_apps=n_apps, n_mixes=1)
+    evaluate_mix(config, mix, single, seed=mix_id)
+    return mix_record(single)
+
+
+def sweep_jobs(
+    config: SystemConfig,
+    n_apps: int,
+    n_mixes: int = 50,
+    seed: int = 42,
+    multithreaded: bool = False,
+) -> list[Job]:
+    """One :class:`Job` per mix of the standard-scheme sweep."""
+    kind = "mt" if multithreaded else "st"
+    return [
+        Job(
+            fn=_mix_point,
+            kwargs=dict(
+                config=config,
+                n_apps=n_apps,
+                seed=seed,
+                mix_id=mix_id,
+                multithreaded=multithreaded,
+            ),
+            seed=seed,
+            label=f"sweep-{kind}-{n_apps}apps-mix{mix_id}",
+        )
+        for mix_id in range(n_mixes)
+    ]
+
+
 def run_sweep(
     config: SystemConfig,
     n_apps: int,
@@ -98,10 +180,22 @@ def run_sweep(
     multithreaded: bool = False,
     schemes: list[NucaScheme] | None = None,
     system: AnalyticSystem | None = None,
+    runner: ProcessPoolRunner | None = None,
 ) -> SweepResult:
-    """Evaluate schemes over random mixes; returns aggregated results."""
-    system = system or AnalyticSystem(config)
+    """Evaluate schemes over random mixes; returns aggregated results.
+
+    With the default (standard) schemes, each mix runs as a runner job —
+    pass *runner* for parallelism and caching.  Supplying custom *schemes*
+    or a pre-built *system* keeps the legacy inline loop, since arbitrary
+    scheme objects are not content-hashable job inputs.
+    """
     result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
+    if schemes is None and system is None:
+        jobs = sweep_jobs(config, n_apps, n_mixes, seed, multithreaded)
+        for record in run_jobs(jobs, runner):
+            merge_mix_record(result, record)
+        return result
+    system = system or AnalyticSystem(config)
     for mix_id in range(n_mixes):
         if multithreaded:
             mix = random_multithreaded_mix(n_apps, seed, mix_id)

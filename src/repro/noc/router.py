@@ -4,7 +4,7 @@ The trace simulator and the analytic model both charge network latency as
 ``hops x (router + link)`` cycles (Table 2: 3-cycle routers, 1-cycle links).
 We model zero-load latency only: the paper's evaluation is capacity- and
 placement-dominated, and its NoC (128-bit links) runs far from saturation
-for these workloads, so queueing in the mesh is second-order (DESIGN.md).
+for these workloads, so queueing in the mesh is second-order (docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

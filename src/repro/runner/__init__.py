@@ -1,0 +1,33 @@
+"""Parallel experiment runner with content-hashed result caching.
+
+The sweep structure of every figure reproduction is embarrassingly
+parallel: N mixes x M schemes, each point fully determined by
+``(SystemConfig, workload mix, scheme, seed)``.  This package exploits
+that:
+
+* :class:`Job` — one simulation/experiment point (a picklable module-level
+  callable + kwargs + seed), content-hashed for identity;
+* :class:`ResultStore` — an on-disk cache of completed job outputs keyed by
+  that hash, with atomic writes and corrupted-entry recovery;
+* :class:`ProcessPoolRunner` — fans uncached jobs out across
+  ``multiprocessing`` workers with deterministic per-job RNG seeding, so
+  ``--jobs 4`` is bitwise identical to ``--jobs 1`` and a warm cache
+  executes zero jobs.
+
+See docs/ARCHITECTURE.md for how a sweep flows through the runner.
+"""
+
+from repro.runner.job import Job
+from repro.runner.pool import ProcessPoolRunner, RunnerStats, run_jobs
+from repro.runner.store import MISS, NullStore, ResultStore, StoreStats
+
+__all__ = [
+    "Job",
+    "MISS",
+    "NullStore",
+    "ProcessPoolRunner",
+    "ResultStore",
+    "RunnerStats",
+    "StoreStats",
+    "run_jobs",
+]

@@ -1,0 +1,171 @@
+"""Fans jobs out across processes, with cache short-circuiting.
+
+:class:`ProcessPoolRunner` is the execution engine behind every sweep and
+figure driver: it consults its :class:`~repro.runner.store.ResultStore`
+first, dispatches only the missing points (serially for ``jobs=1``,
+through a ``concurrent.futures.ProcessPoolExecutor`` otherwise), persists
+completed results, and reports progress after every job.  Results come back
+in submission order regardless of completion order, and every job reseeds
+deterministically (:meth:`repro.runner.job.Job.execute`), so worker count
+never changes the numbers — only the wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.runner.job import Job
+from repro.runner.store import MISS, NullStore, ResultStore
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative counters over a runner's lifetime (all ``map`` calls)."""
+
+    submitted: int = 0
+    completed: int = 0
+    executed: int = 0
+    cached: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.completed}/{self.submitted} jobs done, "
+            f"{self.cached} cache hits"
+        )
+
+
+def _execute(job: Job) -> Any:
+    """Worker entry point (module-level so it pickles by reference)."""
+    return job.execute()
+
+
+@contextmanager
+def _preserved_global_rng():
+    """Save/restore the global RNG streams around in-process execution.
+
+    ``Job.execute`` reseeds the global RNGs for determinism; when jobs run
+    in the caller's process (``jobs=1``), that must not clobber whatever
+    seed the caller established for their own code.
+    """
+    py_state = random.getstate()
+    np_state = np.random.get_state()
+    try:
+        yield
+    finally:
+        random.setstate(py_state)
+        np.random.set_state(np_state)
+
+
+class ProcessPoolRunner:
+    """Runs jobs across *jobs* worker processes with result memoization.
+
+    ``jobs=1`` (the default) executes in-process with zero multiprocessing
+    overhead; any higher value fans uncached jobs out to a process pool.
+    *store* defaults to a :class:`NullStore` (no caching); pass a
+    :class:`ResultStore` to memoize results on disk.  *progress*, if given,
+    is called with the cumulative :class:`RunnerStats` after every job
+    completes (from cache or from execution).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: ResultStore | NullStore | None = None,
+        progress: Callable[[RunnerStats], None] | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"need at least one worker, got {jobs}")
+        self.jobs = jobs
+        self.store = store if store is not None else NullStore()
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, job: Job) -> Any:
+        """Run a single job (through the cache)."""
+        return self.map([job])[0]
+
+    def map(self, jobs: Sequence[Job]) -> list[Any]:
+        """Run *jobs*, returning their results in submission order."""
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+        results: list[Any] = [None] * len(jobs)
+        pending: list[int] = []
+        for i, job in enumerate(jobs):
+            value = self.store.load(job.digest())
+            if value is not MISS:
+                results[i] = value
+                self._advance(cached=True)
+            else:
+                pending.append(i)
+        if not pending:
+            return results
+        if self.jobs == 1 or len(pending) == 1:
+            with _preserved_global_rng():
+                for i in pending:
+                    results[i] = self._finish(jobs[i], _execute(jobs[i]))
+        else:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute, jobs[i]): i for i in pending}
+                done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+                for future in not_done:
+                    future.cancel()
+                # In-flight jobs cannot be cancelled; collect them too so
+                # their results are persisted rather than dropped.
+                in_flight = [f for f in not_done if not f.cancelled()]
+                if in_flight:
+                    done |= wait(in_flight)[0]
+                # Persist every completed sibling before re-raising a
+                # failure, so a rerun after fixing one bad point does not
+                # recompute the points that already succeeded.
+                first_error: BaseException | None = None
+                for future in done:
+                    if future.cancelled():
+                        continue
+                    error = future.exception()
+                    if error is not None:
+                        first_error = first_error or error
+                        continue
+                    results[futures[future]] = self._finish(
+                        jobs[futures[future]], future.result()
+                    )
+                if first_error is not None:
+                    raise first_error
+        return results
+
+    # -- internals -----------------------------------------------------------
+
+    def _finish(self, job: Job, value: Any) -> Any:
+        self.store.store(job.digest(), value)
+        self._advance(cached=False)
+        return value
+
+    def _advance(self, cached: bool) -> None:
+        self.stats.completed += 1
+        if cached:
+            self.stats.cached += 1
+        else:
+            self.stats.executed += 1
+        if self.progress is not None:
+            self.progress(self.stats)
+
+
+def run_jobs(
+    jobs: Sequence[Job], runner: ProcessPoolRunner | None = None
+) -> list[Any]:
+    """Run *jobs* through *runner*, or serially/uncached when none given.
+
+    This is the single entry point the experiment harnesses use, so every
+    figure driver transparently gains ``--jobs``/caching when the CLI (or a
+    test) supplies a configured runner.
+    """
+    runner = runner if runner is not None else ProcessPoolRunner()
+    return runner.map(jobs)

@@ -1,0 +1,133 @@
+"""On-disk result cache keyed by job content digests.
+
+A :class:`ResultStore` memoizes completed job outputs so re-running a sweep
+only executes the points whose (config, workload, scheme, seed) actually
+changed — the incremental-recomputation primitive that related systems
+(CoT's elastic caches, DistCache's storage tiers; see PAPERS.md) build
+their scaling stories on.
+
+Entries are pickle files named by digest under a two-level fan-out
+directory (``ab/abcdef....pkl``).  Writes are atomic (temp file + rename)
+so parallel workers and concurrent runs never observe half-written
+entries; loads verify the entry's recorded digest and treat any unpickling
+failure as a miss, deleting the corrupt file so the point is simply
+recomputed (corruption recovery, not an error).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Sentinel distinguishing "miss" from a cached ``None`` result.
+MISS = object()
+
+#: Bump when the entry layout changes; old entries then read as misses.
+_FORMAT = 1
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters for one store's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evicted_corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+            evicted_corrupt=self.evicted_corrupt,
+        )
+
+
+class ResultStore:
+    """Content-addressed pickle cache rooted at *root* (created lazily)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def load(self, digest: str) -> Any:
+        """Return the cached value for *digest*, or :data:`MISS`.
+
+        A corrupted or mismatched entry is deleted and reported as a miss.
+        """
+        path = self.path(digest)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("format") != _FORMAT
+                or entry.get("digest") != digest
+                or "payload" not in entry
+            ):
+                raise ValueError("malformed cache entry")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except Exception:
+            # Truncated pickle, stale format, digest mismatch, unreadable
+            # file: recover by evicting and recomputing.
+            self.stats.misses += 1
+            self.stats.evicted_corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def store(self, digest: str, value: Any) -> None:
+        """Persist *value* under *digest* atomically."""
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": _FORMAT, "digest": digest, "payload": value}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.pkl"))
+
+
+class NullStore:
+    """A store that never hits and never persists (``--no-cache``)."""
+
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+
+    def load(self, digest: str) -> Any:
+        self.stats.misses += 1
+        return MISS
+
+    def store(self, digest: str, value: Any) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0

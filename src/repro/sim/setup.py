@@ -6,7 +6,8 @@ tractable in pure Python, so simulations run **capacity-scaled**: every
 bank models ``1/scale`` of its lines and every workload's miss curve is
 shrunk by the same factor on the size axis — the hit/miss behavior per
 access is preserved exactly (LRU is scale-free in this transformation),
-only absolute footprints shrink.  DESIGN.md documents this substitution.
+only absolute footprints shrink.  docs/ARCHITECTURE.md documents this
+substitution.
 """
 
 from __future__ import annotations

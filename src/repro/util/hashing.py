@@ -1,13 +1,25 @@
-"""Hash functions used by the VTB, virtual-cache descriptors and monitors.
+"""Hash functions used by the VTB, virtual-cache descriptors, monitors —
+and the experiment runner's result cache.
 
 The paper uses an H3-class universal hash to (a) spread line addresses across
 the buckets of a VC descriptor and (b) produce the 16-bit hashed tags stored
 in GMONs (Sec IV-G).  We implement a small family of deterministic integer
 mixers seeded by an index so that different hardware units (each VTB, each
 monitor) can use independent hash functions while staying reproducible.
+
+On top of that, :func:`content_digest` provides the stable content hash that
+``repro.runner`` uses to key cached experiment results: it canonicalizes
+arbitrary configuration objects (dataclasses, dicts, numpy arrays, ...) into
+a deterministic byte string and digests it with SHA-256, so two jobs share a
+cache entry exactly when their (config, workload, scheme, seed) agree.
 """
 
 from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any
 
 _MASK64 = (1 << 64) - 1
 
@@ -69,3 +81,82 @@ def sample_fraction(address: int, fraction: float, seed: int = 0) -> bool:
         return False
     threshold = int(fraction * (1 << 32))
     return (mix64(address, seed) & 0xFFFFFFFF) < threshold
+
+
+# ---------------------------------------------------------------------------
+# Content hashing for the experiment runner's result cache.
+# ---------------------------------------------------------------------------
+
+
+def canonical_repr(obj: Any) -> str:
+    """Return a deterministic string encoding of *obj* for hashing.
+
+    Covers everything experiment job keys are built from: primitives,
+    containers (dicts sorted by key), enums, dataclasses (tagged with their
+    qualified class name so distinct config types never collide), numpy
+    scalars and arrays, and callables (identified by module-qualified name).
+    Objects outside that set must expose ``cache_key()`` returning any
+    canonicalizable value; a plain ``repr`` fallback is deliberately not
+    offered because default reprs embed memory addresses.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return f"{type(obj).__name__}:{obj!r}"
+    if isinstance(obj, float):
+        # repr() round-trips doubles exactly; hex removes any ambiguity.
+        return f"float:{obj.hex() if obj == obj else 'nan'}"
+    if isinstance(obj, bytes):
+        return f"bytes:{obj.hex()}"
+    if isinstance(obj, enum.Enum):
+        return f"enum:{type(obj).__qualname__}.{obj.name}"
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(canonical_repr(v) for v in obj)
+        return f"{type(obj).__name__}:[{inner}]"
+    if isinstance(obj, (set, frozenset)):
+        inner = ",".join(sorted(canonical_repr(v) for v in obj))
+        return f"set:[{inner}]"
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonical_repr(k), canonical_repr(v)) for k, v in obj.items()
+        )
+        inner = ",".join(f"{k}={v}" for k, v in items)
+        return f"dict:{{{inner}}}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)
+        }
+        return f"dc:{type(obj).__qualname__}:{canonical_repr(fields)}"
+    cache_key = getattr(obj, "cache_key", None)
+    if callable(cache_key):
+        return f"ck:{type(obj).__qualname__}:{canonical_repr(cache_key())}"
+    if callable(obj):  # functions / methods: identity is their import path
+        module = getattr(obj, "__module__", "?")
+        name = getattr(obj, "__qualname__", getattr(obj, "__name__", "?"))
+        return f"fn:{module}.{name}"
+    try:  # numpy scalars and arrays, without importing numpy eagerly
+        import numpy as np
+
+        if isinstance(obj, np.generic):
+            return canonical_repr(obj.item())
+        if isinstance(obj, np.ndarray):
+            arr = np.ascontiguousarray(obj)
+            return (
+                f"ndarray:{arr.dtype.str}:{arr.shape}:"
+                f"{hashlib.sha256(arr.tobytes()).hexdigest()}"
+            )
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        pass
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__qualname__} for content hashing; "
+        f"add a cache_key() method or use hashable primitives"
+    )
+
+
+def content_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of *parts*.
+
+    This is the cache key of ``repro.runner.ResultStore``: stable across
+    processes and interpreter runs (unlike built-in ``hash``), and sensitive
+    to every field of every part.
+    """
+    blob = "\x1e".join(canonical_repr(p) for p in parts)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

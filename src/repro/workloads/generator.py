@@ -10,8 +10,8 @@ stack-distance distribution to sample from.
 The generator keeps an exact LRU recency list and, per access, samples a
 stack distance from the inverted curve, touching the line at that recency
 depth (move-to-front).  Cost is O(depth) per access, so trace experiments
-run at reduced footprint (sizes scale linearly; see sim/README note in
-DESIGN.md).
+run at reduced footprint (sizes scale linearly; see the scaled-footprint
+note in docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

@@ -2,8 +2,8 @@
 
 The paper evaluates on the 16 SPECCPU2006 apps with >= 5 L2 MPKI and on
 SPECOMP2012 multithreaded apps.  We cannot ship SPEC, so each app is
-described by the quantities CDCS itself consumes (DESIGN.md substitution
-table):
+described by the quantities CDCS itself consumes (see the substitution
+notes in docs/ARCHITECTURE.md):
 
 * ``llc_apki`` — LLC accesses (L2 misses) per kilo-instruction,
 * a **miss curve** — MPKI as a function of LLC capacity (Fig 2),
@@ -14,7 +14,7 @@ Curve shapes and intensities are calibrated to the paper's Fig 2 (omnet:
 ~85 MPKI cliff at 2.5 MB; milc: flat streaming; ilbdc: 512 KB footprint)
 and to published SPEC CPU2006 LLC characterizations for the rest.  Absolute
 numbers are approximations; the reproduction targets the paper's *shape*
-(see EXPERIMENTS.md).
+(see docs/REPRODUCING.md).
 """
 
 from __future__ import annotations

@@ -26,10 +26,41 @@ def test_table3_command(capsys):
 
 
 @pytest.mark.slow
-def test_fig14_command_small(capsys):
-    assert main(["fig14", "--mixes", "2"]) == 0
+def test_fig14_command_small(capsys, tmp_path):
+    assert main(["fig14", "--mixes", "2",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
     out = capsys.readouterr().out
     assert "CDCS" in out and "Jigsaw+R" in out
+
+
+@pytest.mark.slow
+def test_fig14_command_parallel_and_cached(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    assert main(["fig14", "--mixes", "2", "--jobs", "2",
+                 "--cache-dir", cache]) == 0
+    cold = capsys.readouterr()
+    assert "0 cache hits" in cold.err
+    # Warm rerun: identical table, zero jobs executed.
+    assert main(["fig14", "--mixes", "2", "--jobs", "2",
+                 "--cache-dir", cache]) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "2 cache hits" in warm.err
+
+
+@pytest.mark.slow
+def test_no_cache_flag_skips_store(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    assert main(["fig14", "--mixes", "2", "--no-cache",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert not cache.exists()
+
+
+def test_progress_line_reports_jobs(capsys, tmp_path):
+    assert main(["gmon", "--cache-dir", str(tmp_path / "cache")]) == 0
+    err = capsys.readouterr().err
+    assert "3/3 jobs done" in err
 
 
 @pytest.mark.slow

@@ -1,0 +1,307 @@
+"""The experiment runner: jobs, the content-hashed store, the pool.
+
+Covers the PR's acceptance criteria directly: a warm cache executes zero
+jobs, ``jobs=4`` is bitwise identical to ``jobs=1``, and corrupted cache
+entries are evicted and recomputed rather than crashing a sweep.
+"""
+
+import pickle
+
+import pytest
+
+from repro.config import small_test_config
+from repro.experiments import run_factor_analysis, run_sweep, sweep_jobs
+from repro.runner import (
+    MISS,
+    Job,
+    NullStore,
+    ProcessPoolRunner,
+    ResultStore,
+    run_jobs,
+)
+from repro.util.hashing import canonical_repr, content_digest
+
+
+# Module-level job bodies (jobs must pickle by reference).
+def _square(x):
+    return x * x
+
+
+def _global_rng_sample(tag):
+    """Deliberately uses the *global* numpy RNG to prove per-job seeding."""
+    import numpy as np
+
+    return (tag, float(np.random.random()))
+
+
+def _boom():
+    raise RuntimeError("job failure")
+
+
+# -- content hashing ---------------------------------------------------------
+
+
+def test_content_digest_stable_and_sensitive():
+    cfg = small_test_config(4, 4)
+    assert content_digest(cfg) == content_digest(small_test_config(4, 4))
+    assert content_digest(cfg) != content_digest(small_test_config(4, 8))
+    assert content_digest(1) != content_digest("1")
+    assert content_digest(1.0) != content_digest(1)
+    assert content_digest([1, 2]) != content_digest((1, 2))
+    assert content_digest({"a": 1, "b": 2}) == content_digest(
+        {"b": 2, "a": 1}
+    )
+
+
+def test_canonical_repr_rejects_unhashable_objects():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="canonicalize"):
+        canonical_repr(Opaque())
+
+
+def test_job_digest_covers_fn_kwargs_and_seed():
+    base = Job(fn=_square, kwargs={"x": 3}, seed=1)
+    assert base.digest() == Job(fn=_square, kwargs={"x": 3}, seed=1).digest()
+    assert base.digest() != Job(fn=_square, kwargs={"x": 4}, seed=1).digest()
+    assert base.digest() != Job(fn=_square, kwargs={"x": 3}, seed=2).digest()
+    assert (
+        base.digest()
+        != Job(fn=_global_rng_sample, kwargs={"tag": 3}, seed=1).digest()
+    )
+    # The label is presentation-only: never part of the identity.
+    assert base.digest() == Job(fn=_square, kwargs={"x": 3}, seed=1,
+                                label="renamed").digest()
+
+
+# -- store: hit/miss, corruption recovery ------------------------------------
+
+
+def test_store_miss_then_hit(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.load("ab" * 32) is MISS
+    store.store("ab" * 32, {"value": 7})
+    assert store.load("ab" * 32) == {"value": 7}
+    assert store.stats.hits == 1 and store.stats.misses == 1
+    assert len(store) == 1
+
+
+def test_store_roundtrips_none_result(tmp_path):
+    store = ResultStore(tmp_path)
+    digest = "cd" * 32
+    store.store(digest, None)
+    assert store.load(digest) is None  # a cached None is not a miss
+
+
+def test_store_recovers_from_truncated_entry(tmp_path):
+    store = ResultStore(tmp_path)
+    digest = "ef" * 32
+    store.store(digest, [1, 2, 3])
+    path = store.path(digest)
+    path.write_bytes(path.read_bytes()[:10])  # truncate mid-pickle
+    assert store.load(digest) is MISS
+    assert store.stats.evicted_corrupt == 1
+    assert not path.exists()  # evicted, so the next run recomputes + stores
+    store.store(digest, [1, 2, 3])
+    assert store.load(digest) == [1, 2, 3]
+
+
+def test_store_rejects_digest_mismatch(tmp_path):
+    store = ResultStore(tmp_path)
+    good, evil = "11" * 32, "22" * 32
+    store.store(good, "payload")
+    # Simulate a mis-filed entry (e.g. a partial copy between cache dirs).
+    store.path(evil).parent.mkdir(parents=True, exist_ok=True)
+    store.path(evil).write_bytes(store.path(good).read_bytes())
+    assert store.load(evil) is MISS
+    assert not store.path(evil).exists()
+
+
+def test_store_rejects_non_dict_payload(tmp_path):
+    store = ResultStore(tmp_path)
+    digest = "33" * 32
+    path = store.path(digest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps(["not", "an", "entry"]))
+    assert store.load(digest) is MISS
+
+
+def test_null_store_never_hits():
+    store = NullStore()
+    store.store("44" * 32, "x")
+    assert store.load("44" * 32) is MISS
+    assert len(store) == 0
+
+
+# -- pool: execution, caching, parallel determinism ---------------------------
+
+
+def _jobs(n=6, seed=0):
+    return [Job(fn=_square, kwargs={"x": i}, seed=seed) for i in range(n)]
+
+
+def test_runner_serial_results_in_order():
+    runner = ProcessPoolRunner()
+    assert runner.map(_jobs()) == [0, 1, 4, 9, 16, 25]
+    assert runner.stats.executed == 6 and runner.stats.cached == 0
+
+
+def test_runner_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        ProcessPoolRunner(jobs=0)
+
+
+def test_runner_parallel_results_in_order():
+    runner = ProcessPoolRunner(jobs=4)
+    assert runner.map(_jobs(8)) == [i * i for i in range(8)]
+
+
+def test_runner_warm_cache_executes_zero_jobs(tmp_path):
+    cold = ProcessPoolRunner(jobs=2, store=ResultStore(tmp_path))
+    first = cold.map(_jobs())
+    assert cold.stats.executed == 6
+    warm = ProcessPoolRunner(jobs=2, store=ResultStore(tmp_path))
+    second = warm.map(_jobs())
+    assert second == first
+    assert warm.stats.executed == 0
+    assert warm.stats.cached == 6
+
+
+def test_runner_partial_cache_executes_only_new_points(tmp_path):
+    ProcessPoolRunner(store=ResultStore(tmp_path)).map(_jobs(4))
+    runner = ProcessPoolRunner(store=ResultStore(tmp_path))
+    assert runner.map(_jobs(6)) == [0, 1, 4, 9, 16, 25]
+    assert runner.stats.cached == 4 and runner.stats.executed == 2
+
+
+def test_runner_changed_seed_misses_cache(tmp_path):
+    ProcessPoolRunner(store=ResultStore(tmp_path)).map(_jobs(3, seed=0))
+    runner = ProcessPoolRunner(store=ResultStore(tmp_path))
+    runner.map(_jobs(3, seed=1))
+    assert runner.stats.cached == 0 and runner.stats.executed == 3
+
+
+def test_runner_progress_callback_sees_every_job(tmp_path):
+    seen = []
+    runner = ProcessPoolRunner(
+        store=ResultStore(tmp_path), progress=lambda s: seen.append(
+            (s.completed, s.cached)
+        )
+    )
+    runner.map(_jobs(3))
+    assert seen == [(1, 0), (2, 0), (3, 0)]
+
+
+def test_runner_propagates_job_exception():
+    runner = ProcessPoolRunner()
+    with pytest.raises(RuntimeError, match="job failure"):
+        runner.map([Job(fn=_boom)])
+
+
+def test_per_job_seeding_is_order_and_worker_independent():
+    jobs = [Job(fn=_global_rng_sample, kwargs={"tag": i}, seed=9)
+            for i in range(6)]
+    serial = ProcessPoolRunner(jobs=1).map(jobs)
+    parallel = ProcessPoolRunner(jobs=3).map(jobs)
+    reversed_serial = ProcessPoolRunner(jobs=1).map(jobs[::-1])[::-1]
+    assert serial == parallel == reversed_serial
+    # Different jobs draw from different streams.
+    assert len({v for _, v in serial}) == 6
+
+
+def test_run_jobs_defaults_to_plain_serial_execution():
+    assert run_jobs(_jobs(3)) == [0, 1, 4]
+
+
+def test_in_process_execution_preserves_callers_global_rng():
+    import numpy as np
+
+    np.random.seed(123)
+    jobs = [Job(fn=_global_rng_sample, kwargs={"tag": i}) for i in range(3)]
+    ProcessPoolRunner(jobs=1).map(jobs)  # in-process: reseeds globals
+    after = float(np.random.random())
+    np.random.seed(123)
+    assert after == float(np.random.random())
+
+
+def test_failed_parallel_job_persists_completed_siblings(tmp_path):
+    # Four fast jobs ahead of one failing job: by the time the failure
+    # surfaces, the successes must already be in the store.
+    ok = _jobs(4)
+    jobs = ok + [Job(fn=_boom)]
+    runner = ProcessPoolRunner(jobs=2, store=ResultStore(tmp_path))
+    with pytest.raises(RuntimeError, match="job failure"):
+        runner.map(jobs)
+    warm = ProcessPoolRunner(jobs=2, store=ResultStore(tmp_path))
+    assert warm.map(ok) == [0, 1, 4, 9]
+    assert warm.stats.executed == 0 and warm.stats.cached == 4
+
+
+# -- the acceptance criteria on a real sweep ---------------------------------
+
+
+def test_sweep_jobs_one_job_per_mix():
+    jobs = sweep_jobs(small_test_config(4, 4), n_apps=2, n_mixes=5, seed=3)
+    assert len(jobs) == 5
+    assert len({j.digest() for j in jobs}) == 5
+
+
+def test_sweep_parallel_bitwise_identical_to_serial():
+    cfg = small_test_config(4, 4)
+    serial = run_sweep(cfg, n_apps=4, n_mixes=4, seed=7,
+                       runner=ProcessPoolRunner(jobs=1))
+    parallel = run_sweep(cfg, n_apps=4, n_mixes=4, seed=7,
+                         runner=ProcessPoolRunner(jobs=4))
+    assert serial == parallel  # dataclass equality: every float bitwise
+
+
+def test_sweep_matches_legacy_inline_path():
+    from repro.model.system import AnalyticSystem
+
+    cfg = small_test_config(4, 4)
+    via_jobs = run_sweep(cfg, n_apps=4, n_mixes=3, seed=7)
+    # Forcing schemes= takes the legacy loop; seeds/mixes are identical.
+    inline = run_sweep(cfg, n_apps=4, n_mixes=3, seed=7,
+                       system=AnalyticSystem(cfg))
+    assert via_jobs == inline
+
+
+def test_repeated_sweep_with_warm_cache_executes_zero_jobs(tmp_path):
+    cfg = small_test_config(4, 4)
+    cold = ProcessPoolRunner(jobs=2, store=ResultStore(tmp_path))
+    first = run_sweep(cfg, n_apps=4, n_mixes=4, seed=7, runner=cold)
+    assert cold.stats.executed == 4
+    warm = ProcessPoolRunner(jobs=2, store=ResultStore(tmp_path))
+    second = run_sweep(cfg, n_apps=4, n_mixes=4, seed=7, runner=warm)
+    assert warm.stats.executed == 0 and warm.stats.cached == 4
+    assert first == second
+
+
+def test_sweep_recovers_from_corrupted_cache_dir(tmp_path):
+    cfg = small_test_config(4, 4)
+    store = ResultStore(tmp_path)
+    first = run_sweep(cfg, n_apps=2, n_mixes=3, seed=7,
+                      runner=ProcessPoolRunner(store=store))
+    for path in tmp_path.glob("??/*.pkl"):
+        path.write_bytes(b"garbage")
+    rerun = ProcessPoolRunner(store=ResultStore(tmp_path))
+    second = run_sweep(cfg, n_apps=2, n_mixes=3, seed=7, runner=rerun)
+    assert second == first
+    assert rerun.stats.executed == 3  # all were evicted and recomputed
+    # ... and the rewritten entries hit again afterwards.
+    third = ProcessPoolRunner(store=ResultStore(tmp_path))
+    run_sweep(cfg, n_apps=2, n_mixes=3, seed=7, runner=third)
+    assert third.stats.cached == 3
+
+
+def test_factor_analysis_cached_rerun(tmp_path):
+    cfg = small_test_config(4, 4)
+    cold = ProcessPoolRunner(store=ResultStore(tmp_path))
+    first = run_factor_analysis(cfg, n_apps=4, n_mixes=2, seed=7,
+                                runner=cold)
+    warm = ProcessPoolRunner(store=ResultStore(tmp_path))
+    second = run_factor_analysis(cfg, n_apps=4, n_mixes=2, seed=7,
+                                 runner=warm)
+    assert warm.stats.executed == 0
+    assert first.gmeans() == second.gmeans()

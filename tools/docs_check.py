@@ -1,0 +1,171 @@
+"""Check that the documentation only references things that exist.
+
+Scans the fenced code blocks (and inline code spans) of README.md and
+docs/*.md for three kinds of claims, and fails if any is stale:
+
+* ``python -m repro <experiment> --flag ...`` invocations — the experiment
+  must be a real CLI choice and every ``--flag`` a real argparse option;
+* dotted module paths (``repro.runner.pool``) — must import;
+* repo file paths (``benchmarks/bench_fig11_single_threaded.py``,
+  ``src/repro/...``) — must exist (shell globs are expanded).
+
+Run via ``make docs-check`` (needs ``PYTHONPATH=src``); exits non-zero
+with one line per problem.
+"""
+
+from __future__ import annotations
+
+import glob
+import importlib
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+_FENCE = re.compile(r"```.*?\n(.*?)```", re.S)
+_INLINE = re.compile(r"`([^`\n]+)`")
+_MODULE = re.compile(r"^repro(\.[A-Za-z_][A-Za-z0-9_]*)+$")
+_PATHISH = re.compile(
+    r"^(?:src|docs|benchmarks|tests|examples|tools)/[\w./*\-]+$"
+)
+
+#: Documented build outputs that legitimately do not exist on a fresh
+#: clone (gitignored; produced by running benchmarks / the CLI).
+_BUILD_OUTPUTS = {
+    "benchmarks/benchmark_results.txt",
+}
+
+
+def check_cli_commands(text: str, origin: str, problems: list[str]) -> None:
+    import repro.__main__ as cli
+
+    experiments = set(cli.COMMANDS) | {"list"}
+    known_flags = {"--mixes", "--seed", "--jobs", "--cache-dir", "--no-cache",
+                   "--help"}
+    for line in text.splitlines():
+        line = line.strip()
+        m = re.search(r"python -m repro\b(.*)", line)
+        if not m:
+            continue
+        rest = m.group(1).split("#", 1)[0]  # drop trailing comments
+        try:
+            tokens = shlex.split(rest)
+        except ValueError:
+            tokens = rest.split()
+        if not tokens:
+            continue
+        exp = tokens[0]
+        # A prose mention ("the `python -m repro` CLI") or a placeholder
+        # ("python -m repro ...") makes no checkable claim about names.
+        if re.match(r"^[a-z][a-z0-9_-]*$", exp) and exp not in experiments:
+            problems.append(
+                f"{origin}: unknown experiment {exp!r} in: {line}"
+            )
+        for tok in tokens[1:]:
+            if tok.startswith("--"):
+                flag = tok.split("=", 1)[0]
+                if flag not in known_flags:
+                    problems.append(
+                        f"{origin}: unknown CLI flag {flag!r} in: {line}"
+                    )
+
+
+def check_modules_and_paths(
+    text: str, origin: str, problems: list[str]
+) -> None:
+    for span in _INLINE.findall(text) + text.split():
+        span = span.strip().rstrip(".,;:)")
+        if _MODULE.match(span):
+            try:
+                importlib.import_module(span)
+            except ImportError:
+                # Could be an attribute reference like repro.runner.Job:
+                # try the parent module and getattr the leaf.
+                parent, _, leaf = span.rpartition(".")
+                try:
+                    mod = importlib.import_module(parent)
+                except ImportError:
+                    problems.append(
+                        f"{origin}: module {span!r} does not import"
+                    )
+                    continue
+                if not hasattr(mod, leaf):
+                    problems.append(
+                        f"{origin}: {span!r} is neither a module nor an "
+                        f"attribute of {parent!r}"
+                    )
+        elif _PATHISH.match(span):
+            if span in _BUILD_OUTPUTS:
+                continue
+            if "*" in span:
+                if not glob.glob(str(REPO / span)):
+                    problems.append(
+                        f"{origin}: glob {span!r} matches no files"
+                    )
+            elif not (REPO / span).exists():
+                problems.append(f"{origin}: path {span!r} does not exist")
+
+
+def check_file(path: Path, problems: list[str]) -> None:
+    text = path.read_text()
+    origin = path.relative_to(REPO).as_posix()
+    for block in _FENCE.findall(text):
+        check_cli_commands(block, origin, problems)
+        check_modules_and_paths(block, origin, problems)
+    # Inline code spans outside fences also make claims; strip the fences
+    # first so their contents are not double-counted.
+    prose = _FENCE.sub("", text)
+    check_cli_commands(prose, origin, problems)
+    check_modules_and_paths(prose, origin, problems)
+
+
+def verify_flag_list() -> list[str]:
+    """Cross-check the hardcoded flag list against the real parser."""
+    import repro.__main__ as cli
+
+    probe = [
+        ["list"],
+        ["list", "--mixes", "1", "--seed", "1", "--jobs", "1",
+         "--cache-dir", "x", "--no-cache"],
+    ]
+    problems = []
+    for argv in probe:
+        try:
+            import contextlib
+            import io
+
+            with contextlib.redirect_stdout(io.StringIO()):
+                cli.main(argv)
+        except SystemExit as exc:  # argparse rejects unknown flags with exit 2
+            if exc.code not in (0, None):
+                problems.append(
+                    f"tools/docs_check.py: CLI rejected {argv} — update "
+                    f"known_flags to match repro.__main__"
+                )
+        except Exception as exc:  # pragma: no cover
+            problems.append(f"tools/docs_check.py: CLI probe failed: {exc}")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    problems += verify_flag_list()
+    for doc in DOC_FILES:
+        if not doc.exists():
+            problems.append(f"missing documentation file: {doc.name}")
+            continue
+        check_file(doc, problems)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
