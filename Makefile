@@ -5,11 +5,13 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast bench-smoke bench docs-check check clean
+.PHONY: test test-fast bench-smoke bench bench-kernels docs-check check clean
 
-## Tier-1 verification: the full unit/integration suite.
+## Tier-1 verification: the full unit/integration suite, then the docs
+## checker — stale docs fail `make test` locally, not just in review.
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
+	$(PYPATH) $(PY) tools/docs_check.py
 
 ## The same suite minus the slow end-to-end tests.
 test-fast:
@@ -30,6 +32,11 @@ bench-smoke:
 ## The full paper-figure benchmark suite (slow; honest timings, no cache).
 bench:
 	$(PYPATH) REPRO_JOBS=$(JOBS) $(PY) -m pytest benchmarks/bench_*.py -q
+
+## Kernel microbenchmarks: vectorized vs scalar-reference speedups
+## (asserts the >= 3x floor; records an entry in benchmarks/BENCH.json).
+bench-kernels:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_kernels.py -q
 
 ## Fail if README/docs code blocks reference CLI flags, experiments,
 ## modules, or files that do not exist.

@@ -1,0 +1,171 @@
+"""Kernel microbenchmarks: vectorized epoch kernels vs the scalar path.
+
+PR 2's tentpole claim — the inner epoch loop is array math now — is
+measured here, not asserted in prose:
+
+* **miss-curve batch**: all VCs' curves on the allocation grid in one
+  :class:`MissCurveBatch` call vs one ``np.interp`` per curve;
+* **placement scoring**: Sec IV-D candidate scoring as matrix passes vs
+  per-candidate window loops;
+* **sharing fixed point**: the lockstep bisection vs per-stream nested
+  bisection;
+* **end-to-end**: one fig11 (64-app) and one fig15 (multithreaded) sweep
+  point through ``repro.kernels.scalar_reference`` vs the default path.
+
+The acceptance gate (>= 3x on batched miss-curve evaluation and placement
+scoring) is asserted.  Results are appended to
+``benchmarks/benchmark_results.txt`` and recorded as a JSON entry in
+``benchmarks/BENCH.json`` so the speedup history survives refactors.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit
+
+from repro.cache.miss_curve import MissCurveBatch
+from repro.config import default_config
+from repro.experiments.sweeps import SweepResult, evaluate_mix
+from repro.kernels import scalar_reference
+from repro.nuca.base import build_problem
+from repro.nuca.sharing import (
+    shared_cache_occupancies,
+    shared_cache_occupancies_batch,
+)
+from repro.sched.allocation import allocate_latency_aware
+from repro.sched.vc_placement import (
+    place_optimistic_scalar,
+    place_optimistic_vectorized,
+)
+from repro.workloads.mixes import (
+    random_multithreaded_mix,
+    random_single_threaded_mix,
+)
+
+BENCH_JSON = Path(__file__).parent / "BENCH.json"
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best wall-clock of *repeats* runs (reduces scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record_entry(entry: dict) -> None:
+    """Append *entry* to the BENCH.json history (latest last)."""
+    history = {"entries": []}
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            pass
+    history.setdefault("entries", []).append(entry)
+    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def test_kernel_speedups(once):
+    config = default_config()
+    problem = build_problem(config=config, mix=random_single_threaded_mix(64, 42, 0))
+    curves = [vc.miss_curve for vc in problem.vcs]
+    quanta = problem.total_bytes // problem.quantum
+    grid = np.arange(quanta + 1, dtype=np.float64) * problem.quantum
+
+    def run() -> dict:
+        speedups: dict[str, float] = {}
+
+        # 1. Batched miss-curve evaluation: all VCs' allocations probed in
+        # one call vs the scalar loop (the Eq 1 / sharing inner step).
+        # Repeat the probe 50x so the measurement isn't pure call overhead
+        # (one bisection runs thousands of these).
+        batch = MissCurveBatch(curves)
+        rng = np.random.default_rng(0)
+        allocations = rng.uniform(0.0, problem.total_bytes, len(curves))
+        scalar_t = _best_of(
+            lambda: [
+                [float(c(x)) for c, x in zip(curves, allocations)]
+                for _ in range(50)
+            ]
+        )
+        batch_t = _best_of(lambda: [batch(allocations) for _ in range(50)])
+        assert np.array_equal(
+            batch(allocations),
+            np.array([float(c(x)) for c, x in zip(curves, allocations)]),
+        )
+        speedups["miss_curve_batch"] = scalar_t / batch_t
+        assert np.array_equal(
+            batch.at_grid(grid), np.vstack([np.asarray(c(grid)) for c in curves])
+        )
+
+        # 2. Placement candidate scoring (Sec IV-D).
+        vc_sizes = allocate_latency_aware(problem)
+        scalar_t = _best_of(
+            lambda: place_optimistic_scalar(problem, vc_sizes), repeats=2
+        )
+        vector_t = _best_of(
+            lambda: place_optimistic_vectorized(problem, vc_sizes), repeats=2
+        )
+        assert (
+            place_optimistic_vectorized(problem, vc_sizes).centers
+            == place_optimistic_scalar(problem, vc_sizes).centers
+        )
+        speedups["placement_scoring"] = scalar_t / vector_t
+
+        # 3. LRU-sharing fixed point (S-NUCA/R-NUCA capacity division).
+        capacity = float(problem.total_bytes)
+        fns = [c.__call__ for c in curves]
+        scalar_t = _best_of(
+            lambda: shared_cache_occupancies(fns, capacity), repeats=2
+        )
+        batch_t = _best_of(
+            lambda: shared_cache_occupancies_batch(batch, capacity), repeats=2
+        )
+        speedups["sharing_fixed_point"] = scalar_t / batch_t
+
+        # 4. End-to-end sweep points (fig11 single-threaded, fig15 MT).
+        def point(multithreaded: bool) -> None:
+            if multithreaded:
+                mix = random_multithreaded_mix(8, 7, 0)
+            else:
+                mix = random_single_threaded_mix(64, 42, 0)
+            evaluate_mix(
+                config, mix, SweepResult(n_apps=64, n_mixes=1), seed=0
+            )
+
+        for label, multithreaded in (("fig11_point", False), ("fig15_point", True)):
+            vector_t = _best_of(lambda: point(multithreaded), repeats=2)
+            with scalar_reference():
+                scalar_t = _best_of(lambda: point(multithreaded), repeats=1)
+            speedups[label] = scalar_t / vector_t
+        return speedups
+
+    speedups = once(run)
+    rows = "\n".join(
+        f"  {name:22s} {ratio:6.1f}x" for name, ratio in speedups.items()
+    )
+    emit(f"Kernel speedups (vectorized vs scalar reference):\n{rows}")
+
+    _record_entry(
+        {
+            "bench": "bench_kernels",
+            "chip": "64-tile mesh (default_config)",
+            "speedups": {k: round(v, 2) for k, v in speedups.items()},
+            "recorded": time.strftime("%Y-%m-%d"),
+        }
+    )
+
+    # Acceptance gate: >= 3x on batched miss-curve eval + placement scoring.
+    assert speedups["miss_curve_batch"] >= 3.0, speedups
+    assert speedups["placement_scoring"] >= 3.0, speedups
+    # End-to-end sweep points must win too (smaller factor: they include
+    # the still-sequential hull walks and trade scans).
+    assert speedups["fig11_point"] > 1.5, speedups
+    assert speedups["fig15_point"] > 1.5, speedups

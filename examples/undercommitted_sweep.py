@@ -6,26 +6,41 @@ LLC is plentiful: Jigsaw's miss-driven allocator hands every app a huge,
 far-flung VC and loses to CDCS, whose latency-aware allocation leaves
 capacity unused on purpose (Sec IV-C / Fig 12b).
 
-Run:  python examples/undercommitted_sweep.py  [--mixes N]
+Run:  python examples/undercommitted_sweep.py  [--mixes N] [--jobs N]
+      [--cache-dir DIR]
+
+The sweep fans out through the PR-1 runner exactly like the CLI
+(``python -m repro fig13 --jobs 4``): each mix is one cached job, so
+re-runs with a warm --cache-dir execute nothing.
 """
 
 import argparse
 
 from repro.config import default_config
 from repro.experiments import run_sweep
+from repro.runner import ProcessPoolRunner, ResultStore
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--mixes", type=int, default=8,
                         help="random mixes per occupancy point")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical at any N)")
+    parser.add_argument("--cache-dir", default="",
+                        help="content-hashed result cache directory "
+                             "(empty: no caching)")
     args = parser.parse_args()
+
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    runner = ProcessPoolRunner(jobs=args.jobs, store=store)
 
     config = default_config()
     schemes = ("R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
     print(f"{'apps':>5s}  " + "  ".join(f"{s:>9s}" for s in schemes))
     for n_apps in (2, 4, 8, 16, 32, 64):
-        sweep = run_sweep(config, n_apps=n_apps, n_mixes=args.mixes, seed=42)
+        sweep = run_sweep(config, n_apps=n_apps, n_mixes=args.mixes,
+                          seed=42, runner=runner)
         row = "  ".join(
             f"{sweep.gmean_speedup(s):9.3f}" for s in schemes
         )

@@ -9,6 +9,23 @@ of curves (for modeling unpartitioned sharing).
 Capacities are in **bytes**; values are in **misses per kilo-instruction**
 (or any other per-unit rate — monitors produce miss *counts* per interval,
 which behave identically).
+
+Shape conventions
+-----------------
+:class:`MissCurveBatch` packs ``K`` curves into padded ``float64`` arrays
+so every VC's curve is evaluated in one NumPy call:
+
+* ``sizes2d``, ``values2d`` — ``(K, P)``; rows are the sampled points of
+  each curve, right-padded by repeating the last point (``P`` is the
+  longest curve's point count; padding preserves clamped extrapolation);
+* ``lengths`` — ``(K,) int64``; each row's true point count;
+* ``batch(x)`` with scalar or ``(K,)`` *x* returns ``(K,)`` (one query per
+  curve); ``batch.at_grid(grid)`` with a ``(Q,)`` grid returns ``(K, Q)``
+  (all curves on a shared capacity grid).
+
+Batch evaluation is bitwise-identical to per-curve ``np.interp`` (it runs
+the same ``slope * (x - x0) + y0`` arithmetic), which the equivalence
+tests assert exactly.
 """
 
 from __future__ import annotations
@@ -166,6 +183,136 @@ class MissCurve:
             f"[{self.sizes[0]:.0f}..{self.sizes[-1]:.0f}] B, "
             f"{self.values[0]:.2f}->{self.values[-1]:.2f})"
         )
+
+
+class MissCurveBatch:
+    """K miss curves evaluated together with one NumPy call per query set.
+
+    The batch is immutable and cheap to build (one pass over the curves);
+    build it once per placement problem and reuse it across epochs.  See
+    the module docstring for the shape conventions.
+
+    *arg_scale* / *value_divisor* (optional ``(K,)`` vectors) evaluate row
+    *i* as ``curve_i(x * arg_scale[i]) / value_divisor[i]`` — the slice
+    transform R-NUCA applies to chip-spread shared VCs (a VC interleaved
+    over N banks behaves per bank as 1/N of the accesses over 1/N of the
+    data).  The scale is applied before the segment search and the divisor
+    after, exactly like the scalar closure, so bitwise equivalence holds.
+    """
+
+    def __init__(
+        self,
+        curves: Sequence[MissCurve],
+        arg_scale: Sequence[float] | None = None,
+        value_divisor: Sequence[float] | None = None,
+    ):
+        if len(curves) == 0:
+            raise ValueError("batch needs at least one curve")
+        self.curves = list(curves)
+        k = len(self.curves)
+        # >= 2 columns so segment indexing (j, j+1) is always in bounds,
+        # even when every curve is a single point.
+        p = max(2, max(len(c.sizes) for c in self.curves))
+        self.lengths = np.array([len(c.sizes) for c in self.curves], dtype=np.int64)
+        self.sizes2d = np.empty((k, p), dtype=np.float64)
+        self.values2d = np.empty((k, p), dtype=np.float64)
+        for i, curve in enumerate(self.curves):
+            n = len(curve.sizes)
+            self.sizes2d[i, :n] = curve.sizes
+            self.sizes2d[i, n:] = curve.sizes[-1]
+            self.values2d[i, :n] = curve.values
+            self.values2d[i, n:] = curve.values[-1]
+        self._arg_scale = None
+        if arg_scale is not None:
+            self._arg_scale = np.asarray(arg_scale, dtype=np.float64)
+            if self._arg_scale.shape != (k,):
+                raise ValueError("arg_scale must be one factor per curve")
+        self._value_divisor = None
+        if value_divisor is not None:
+            self._value_divisor = np.asarray(value_divisor, dtype=np.float64)
+            if self._value_divisor.shape != (k,):
+                raise ValueError("value_divisor must be one divisor per curve")
+        self._rows = np.arange(k)
+        # Highest valid segment index per row (0 for single-point curves,
+        # whose every query the clamp masks resolve).
+        self._seg_hi = np.maximum(self.lengths - 2, 0)
+        self._first_x = self.sizes2d[:, 0]
+        self._first_y = self.values2d[:, 0]
+        self._last_x = self.sizes2d[self._rows, self.lengths - 1]
+        self._last_y = self.values2d[self._rows, self.lengths - 1]
+
+    def __len__(self) -> int:
+        return len(self.curves)
+
+    @staticmethod
+    def _interp(queries, x0, x1, y0, y1):
+        """np.interp's segment arithmetic: ``slope * (x - x0) + y0`` with
+        ``slope = (y1 - y0) / (x1 - x0)`` — bitwise what the scalar path
+        computes curve by curve.  Degenerate segments only occur in
+        padding / single-point rows, all of which the end masks overwrite;
+        the division is guarded so no warning fires for discarded lanes."""
+        denom = x1 - x0
+        slope = (y1 - y0) / np.where(denom == 0.0, 1.0, denom)
+        return slope * (queries - x0) + y0
+
+    def __call__(self, sizes: float | np.ndarray) -> np.ndarray:
+        """Evaluate each curve at its own query -> (K,).
+
+        *sizes* is a scalar (shared by all curves) or a (K,) vector (one
+        capacity per curve) — the batched form of ``curve(size)`` used by
+        the sharing fixed point and Eq 1.
+        """
+        q = np.asarray(sizes, dtype=np.float64)
+        if q.ndim == 0:
+            q = np.full(len(self.curves), float(q))
+        if q.shape != (len(self.curves),):
+            raise ValueError(
+                f"expected scalar or ({len(self.curves)},) queries, "
+                f"got shape {q.shape}"
+            )
+        if self._arg_scale is not None:
+            q = q * self._arg_scale
+        # Segment index: number of knots <= x, minus one, clamped to the
+        # row's true segments.  Padded knots equal the last real knot, so
+        # they are only counted when x lies past the end — which the
+        # clamp-to-last mask below handles anyway.
+        j = np.sum(self.sizes2d <= q[:, None], axis=1) - 1
+        j = np.minimum(np.maximum(j, 0), self._seg_hi)
+        rows = self._rows
+        result = self._interp(
+            q,
+            self.sizes2d[rows, j],
+            self.sizes2d[rows, j + 1],
+            self.values2d[rows, j],
+            self.values2d[rows, j + 1],
+        )
+        result = np.where(q <= self._first_x, self._first_y, result)
+        result = np.where(q >= self._last_x, self._last_y, result)
+        if self._value_divisor is not None:
+            result = result / self._value_divisor
+        return result
+
+    def at_grid(self, grid: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Evaluate every curve on a shared capacity grid -> (K, Q).
+
+        The matrix form of ``[curve(grid) for curve in curves]`` that
+        batched allocation uses to build all latency curves at once.  Each
+        row is one fused ``np.interp`` pass over the whole grid — for
+        grid-shaped queries that single C kernel beats any composition of
+        elementwise array ops, and row-for-row bitwise equality with the
+        scalar path is free.  (The per-curve-query form in ``__call__`` is
+        where the one-call batched search pays off.)
+        """
+        g = np.asarray(grid, dtype=np.float64)
+        if g.ndim != 1:
+            raise ValueError(f"grid must be 1-D, got shape {g.shape}")
+        out = np.empty((len(self.curves), len(g)), dtype=np.float64)
+        for i, curve in enumerate(self.curves):
+            q = g if self._arg_scale is None else g * self._arg_scale[i]
+            out[i] = np.interp(q, curve.sizes, curve.values)
+        if self._value_divisor is not None:
+            out = out / self._value_divisor[:, None]
+        return out
 
 
 def flat_curve(max_size: float, value: float) -> MissCurve:

@@ -5,6 +5,20 @@ arbitrary distance vectors, so it works with arbitrary topologies").  We
 provide an abstract :class:`Topology` plus the concrete :class:`Mesh` used in
 the paper's evaluation (X-Y routed, memory controllers at the edges) and a
 :class:`Torus` to demonstrate topology independence.
+
+Shape conventions
+-----------------
+With ``N = topology.tiles``, the vectorized placement kernels index three
+dense matrices instead of recomputing distances:
+
+* ``distance_matrix`` — ``(N, N) int32``; ``[a, b]`` is hops from a to b;
+* ``order_matrix`` — ``(N, N) int64``; row ``c`` lists all tiles sorted by
+  ``(distance from c, tile id)`` — the outward spiral of Fig 8;
+* ``sorted_distance_matrix`` — ``(N, N) int32``; row ``c`` is
+  ``distance_matrix[c]`` reordered by ``order_matrix[c]`` (non-decreasing).
+
+All three are memoized process-wide per concrete (class, width, height),
+so rebuilding a :class:`Mesh` per placement problem costs nothing.
 """
 
 from __future__ import annotations
@@ -13,6 +27,11 @@ from abc import ABC, abstractmethod
 from functools import cached_property
 
 import numpy as np
+
+#: Process-wide geometry memo: exact-class key -> distance matrix.  Rebuilt
+#: Mesh/Torus instances of the same dimensions share one matrix (placement
+#: problems construct a fresh topology per mix).
+_SHARED_DISTANCE_CACHE: dict[tuple, np.ndarray] = {}
 
 
 class Topology(ABC):
@@ -28,15 +47,46 @@ class Topology(ABC):
     def distance(self, a: int, b: int) -> int:
         """Network distance between tiles *a* and *b* in hops."""
 
-    @cached_property
-    def distance_matrix(self) -> np.ndarray:
-        """Dense (tiles x tiles) hop-count matrix; placement algorithms index
-        this instead of recomputing distances."""
+    def _shared_cache_key(self) -> tuple | None:
+        """Key for the process-wide matrix memo; None disables sharing.
+        Only exact, dimension-determined classes may share (a subclass with
+        an overridden metric must not inherit the parent's matrices)."""
+        return None
+
+    def _build_distance_matrix(self) -> np.ndarray:
         mat = np.zeros((self.tiles, self.tiles), dtype=np.int32)
         for a in range(self.tiles):
             for b in range(self.tiles):
                 mat[a, b] = self.distance(a, b)
         return mat
+
+    @cached_property
+    def distance_matrix(self) -> np.ndarray:
+        """Dense (tiles x tiles) hop-count matrix; placement algorithms index
+        this instead of recomputing distances."""
+        key = self._shared_cache_key()
+        if key is not None:
+            cached = _SHARED_DISTANCE_CACHE.get(key)
+            if cached is None:
+                cached = self._build_distance_matrix()
+                _SHARED_DISTANCE_CACHE[key] = cached
+            return cached
+        return self._build_distance_matrix()
+
+    @cached_property
+    def order_matrix(self) -> np.ndarray:
+        """(tiles, tiles) visit order: row c = tiles sorted by (distance
+        from c, tile id).  A stable argsort of the distance matrix yields
+        exactly :meth:`tiles_by_distance` for every center at once."""
+        return np.argsort(self.distance_matrix, axis=1, kind="stable")
+
+    @cached_property
+    def sorted_distance_matrix(self) -> np.ndarray:
+        """(tiles, tiles): row c = distances from c in visit order (the
+        j-th entry is the distance to the j-th-closest tile)."""
+        return np.take_along_axis(
+            self.distance_matrix, self.order_matrix, axis=1
+        )
 
     def tiles_by_distance(self, center: int) -> list[int]:
         """Tiles sorted by distance from *center* (ties broken by tile id,
@@ -44,9 +94,7 @@ class Topology(ABC):
         this for every candidate center of every VC."""
         cached = self._distance_order_cache.get(center)
         if cached is None:
-            cached = sorted(
-                range(self.tiles), key=lambda t: (self.distance(center, t), t)
-            )
+            cached = [int(t) for t in self.order_matrix[center]]
             self._distance_order_cache[center] = cached
         return cached
 
@@ -80,6 +128,13 @@ class Mesh(Topology):
             raise IndexError(f"tile {tile} outside mesh of {self.tiles}")
         return tile % self.width, tile // self.width
 
+    @cached_property
+    def coord_array(self) -> np.ndarray:
+        """(tiles, 2) int64 (x, y) coordinates, row t = ``coords(t)`` —
+        the array the vectorized placement kernels use for centroid math."""
+        ids = np.arange(self.tiles, dtype=np.int64)
+        return np.stack([ids % self.width, ids // self.width], axis=1)
+
     def tile_at(self, x: int, y: int) -> int:
         if not (0 <= x < self.width and 0 <= y < self.height):
             raise IndexError(f"({x},{y}) outside {self.width}x{self.height} mesh")
@@ -89,6 +144,22 @@ class Mesh(Topology):
         ax, ay = self.coords(a)
         bx, by = self.coords(b)
         return abs(ax - bx) + abs(ay - by)
+
+    def _shared_cache_key(self) -> tuple | None:
+        if type(self) in (Mesh, Torus):
+            return (type(self).__name__, self.width, self.height)
+        return None
+
+    def _build_distance_matrix(self) -> np.ndarray:
+        xs = np.arange(self.tiles, dtype=np.int32) % self.width
+        ys = np.arange(self.tiles, dtype=np.int32) // self.width
+        dx = np.abs(xs[:, None] - xs[None, :])
+        dy = np.abs(ys[:, None] - ys[None, :])
+        return (self._fold(dx, dy)).astype(np.int32)
+
+    def _fold(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        """Combine per-axis offsets into hop counts (mesh: plain sum)."""
+        return dx + dy
 
     def neighbors(self, tile: int) -> list[int]:
         """Tiles one hop away (mesh links only)."""
@@ -146,3 +217,6 @@ class Torus(Mesh):
         dx = abs(ax - bx)
         dy = abs(ay - by)
         return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def _fold(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        return np.minimum(dx, self.width - dx) + np.minimum(dy, self.height - dy)

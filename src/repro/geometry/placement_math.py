@@ -11,11 +11,35 @@ These implement the pictures in the paper:
   center, used by the trade-based refinement of Sec IV-F.
 * **centers of mass** of capacity distributions, used by thread placement
   (Sec IV-E).
+
+Shape conventions
+-----------------
+The vectorized helpers score **all candidate centers at once** against the
+topology's precomputed matrices (``N = topology.tiles``):
+
+* :func:`compact_window_weights` — ``(m,) float64``; per-rank bank
+  fractions of a compact footprint of ``size_banks`` (ones then one
+  partial), identical to the fill loop in :func:`compact_placement`;
+* :func:`batched_window_scores` — two ``(N,)`` vectors ``(contention,
+  spread)``; entry *c* scores a compact window centered at tile *c*
+  against a ``(N,)`` claimed-capacity tally.  Terms accumulate in spiral
+  order via ``np.cumsum`` so each entry is bitwise the scalar
+  :func:`window_contention` / :func:`placement_mean_distance` pair;
+* :func:`tile_cost_vector` — ``(N,) float64``; capacity-weighted total
+  distance from every tile to a ``{bank: weight}`` mapping (the
+  1-median objective of :func:`weighted_center_tile`).
+
+Selection loops (first-strict-improvement scans) stay in Python over the
+precomputed vectors, so tie-breaking matches the scalar reference exactly.
 """
 
 from __future__ import annotations
 
+import math
+
 from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
 
 from repro.geometry.mesh import Topology
 
@@ -131,19 +155,57 @@ def center_of_mass(
     return tuple(out)
 
 
+def _first_strict_improvement_scan(costs: list) -> int:
+    """Index selected by the reference scan: ascending order, accept only
+    improvements bigger than 1e-12 — NOT a plain argmin (a later entry a
+    hair below the running best does not displace it)."""
+    best_index = 0
+    best_cost = float("inf")
+    for index, cost in enumerate(costs):
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_index = index
+    return best_index
+
+
+def squared_point_distances(topology: Topology, point: Iterable[float]) -> np.ndarray:
+    """(tiles,) squared Euclidean distance from every tile to *point*,
+    accumulating coordinate terms in the scalar expression's order."""
+    point = tuple(point)
+    coords = getattr(topology, "coord_array", None)
+    if coords is None:  # pragma: no cover - exotic topologies
+        coords = np.array(
+            [topology.coords(t) for t in range(topology.tiles)]  # type: ignore[attr-defined]
+        )
+    total = np.zeros(topology.tiles, dtype=np.float64)
+    for dim, p in enumerate(point):
+        delta = coords[:, dim] - p
+        total = total + delta**2
+    return total
+
+
 def nearest_tile(topology: Topology, point: Iterable[float]) -> int:
     """Tile whose coordinates are closest (Euclidean) to a fractional point;
     deterministic tie-break by tile id."""
-    point = tuple(point)
-    best_tile = 0
-    best_dist = float("inf")
-    for tile in range(topology.tiles):
-        coords = topology.coords(tile)  # type: ignore[attr-defined]
-        dist = sum((c - p) ** 2 for c, p in zip(coords, point))
-        if dist < best_dist - 1e-12:
-            best_dist = dist
-            best_tile = tile
-    return best_tile
+    return _first_strict_improvement_scan(
+        squared_point_distances(topology, point).tolist()
+    )
+
+
+def tile_cost_vector(
+    topology: Topology, weights: Mapping[int, float]
+) -> np.ndarray:
+    """(tiles,) capacity-weighted total distance from every tile to
+    *weights* — the 1-median objective, all candidates at once.
+
+    Terms accumulate in the mapping's iteration order (sequential adds),
+    matching the scalar per-tile sum bitwise.
+    """
+    dist = topology.distance_matrix
+    total = np.zeros(topology.tiles, dtype=np.float64)
+    for bank, weight in weights.items():
+        total = total + weight * dist[:, bank]
+    return total
 
 
 def weighted_center_tile(topology: Topology, weights: Mapping[int, float]) -> int:
@@ -157,12 +219,65 @@ def weighted_center_tile(topology: Topology, weights: Mapping[int, float]) -> in
     total = sum(weights.values())
     if total <= 0:
         raise ValueError("weighted center of empty placement is undefined")
-    dist = topology.distance_matrix
-    best_tile = 0
-    best_cost = float("inf")
-    for tile in range(topology.tiles):
-        cost = sum(w * dist[tile, b] for b, w in weights.items())
-        if cost < best_cost - 1e-12:
-            best_cost = cost
-            best_tile = tile
-    return best_tile
+    return _first_strict_improvement_scan(
+        tile_cost_vector(topology, weights).tolist()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched compact-window scoring (all candidate centers at once)
+# ---------------------------------------------------------------------------
+
+
+def compact_window_weights(topology: Topology, size_banks: float) -> np.ndarray:
+    """(m,) per-rank bank fractions of a compact *size_banks* footprint.
+
+    Entry j is the fraction claimed from the j-th-closest bank: ones for
+    full banks, then one partial.  Every candidate center shares this
+    vector (only the visit order differs), which is what makes whole-chip
+    candidate scoring a matrix operation.  The values replicate the fill
+    loop of :func:`compact_placement` exactly (repeated ``-= 1.0`` on a
+    float of this magnitude is exact, and sub-``1e-12`` tails are dropped
+    just like the loop's break).
+    """
+    if size_banks < 0:
+        raise ValueError(f"size must be non-negative, got {size_banks}")
+    remaining = min(float(size_banks), float(topology.tiles))
+    if remaining <= 1e-12:
+        return np.zeros(0, dtype=np.float64)
+    full = int(math.floor(remaining))
+    fraction = remaining - full
+    if fraction > 1e-12:
+        weights = np.ones(full + 1, dtype=np.float64)
+        weights[full] = fraction
+        return weights
+    return np.ones(full, dtype=np.float64)
+
+
+def batched_window_scores(
+    topology: Topology,
+    claimed: np.ndarray,
+    size_banks: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Score a compact window at every candidate center -> ``(contention,
+    spread)``, each ``(tiles,)``.
+
+    ``contention[c]`` is the claimed capacity under the window centered at
+    *c* (the hatched-area sum of Fig 7b); ``spread[c]`` is the window's
+    mean access distance from *c* (the Fig 6 average).  Rows reduce in
+    spiral order with ``np.cumsum``, so both vectors are bitwise what the
+    scalar :func:`window_contention` + :func:`placement_mean_distance`
+    compute candidate by candidate.
+    """
+    weights = compact_window_weights(topology, size_banks)
+    m = len(weights)
+    if m == 0:
+        zeros = np.zeros(topology.tiles, dtype=np.float64)
+        return zeros, zeros.copy()
+    order = topology.order_matrix[:, :m]
+    ranked_dist = topology.sorted_distance_matrix[:, :m]
+    contention = np.cumsum(weights[None, :] * claimed[order], axis=1)[:, -1]
+    weighted = np.cumsum(weights[None, :] * ranked_dist, axis=1)[:, -1]
+    total = sum(weights.tolist())
+    spread = weighted / total
+    return contention, spread

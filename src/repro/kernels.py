@@ -1,0 +1,71 @@
+"""Kernel dispatch: vectorized fast path vs scalar reference path.
+
+Every hot inner loop of the epoch pipeline (miss-curve evaluation, the
+LRU-sharing fixed point, candidate scoring in VC placement, the Eq 1/Eq 2
+cost model, thread geometry) exists in two implementations:
+
+* the **vectorized** kernels — NumPy array math, the default;
+* the **scalar reference** kernels — the original, loop-at-a-time code,
+  kept verbatim as the trusted baseline.
+
+Both paths produce identical discrete decisions (placements, allocations,
+trades) and metrics equal to within the documented tolerance
+(``EQUIV_RTOL``; see docs/PERFORMANCE.md).  The golden equivalence tests
+in ``tests/test_kernels_equivalence.py`` enforce this, and
+``benchmarks/bench_kernels.py`` measures the speedup.
+
+Use :func:`scalar_reference` to force a whole pipeline through the scalar
+path (for equivalence tests and honest before/after benchmarks)::
+
+    from repro.kernels import scalar_reference
+
+    with scalar_reference():
+        slow_result = run_sweep(config, n_apps=64, n_mixes=1)
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Relative tolerance at which vectorized metrics must agree with the
+#: scalar reference (continuous outputs only — discrete decisions are
+#: required to be identical, not merely close).
+EQUIV_RTOL = 1e-9
+
+#: Environment flag mirroring the in-process switch, so runner worker
+#: processes (forked or spawned inside a ``scalar_reference`` block)
+#: inherit the selected path instead of silently running vectorized.
+_ENV_FLAG = "REPRO_SCALAR_KERNELS"
+
+_VECTORIZED = os.environ.get(_ENV_FLAG, "") != "1"
+
+
+def use_vectorized() -> bool:
+    """True when the vectorized kernels are active (the default)."""
+    return _VECTORIZED
+
+
+@contextmanager
+def scalar_reference() -> Iterator[None]:
+    """Run everything inside the block through the scalar reference path.
+
+    Also exported via the ``REPRO_SCALAR_KERNELS`` environment variable so
+    worker processes a runner starts inside the block pick the same path.
+    (Runner cache entries need no path tag: the equivalence contract makes
+    both paths' results interchangeable.)
+    """
+    global _VECTORIZED
+    previous = _VECTORIZED
+    previous_env = os.environ.get(_ENV_FLAG)
+    _VECTORIZED = False
+    os.environ[_ENV_FLAG] = "1"
+    try:
+        yield
+    finally:
+        _VECTORIZED = previous
+        if previous_env is None:
+            os.environ.pop(_ENV_FLAG, None)
+        else:
+            os.environ[_ENV_FLAG] = previous_env

@@ -36,11 +36,12 @@ class MemoryControllers:
 
     @cached_property
     def mean_distance_matrix(self) -> np.ndarray:
-        """mean hops from each tile to a (uniformly used) controller."""
-        out = np.zeros(self.mesh.tiles, dtype=np.float64)
-        for tile in range(self.mesh.tiles):
-            out[tile] = np.mean([self.mesh.distance(tile, m) for m in self.tiles])
-        return out
+        """mean hops from each tile to a (uniformly used) controller.
+
+        One column-slice mean over the shared distance matrix; hop counts
+        are small integers, so the reduction is exact regardless of order.
+        """
+        return self.mesh.distance_matrix[:, self.tiles].mean(axis=1)
 
     def mean_distance(self, origin: int) -> float:
         return float(self.mean_distance_matrix[origin])

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.config import SystemConfig
+from repro.kernels import use_vectorized
 from repro.cores.ooo_core import CoreModel
 from repro.mem.controller import MemoryControllers
 from repro.mem.dram import DramModel
@@ -183,6 +186,23 @@ class AnalyticSystem:
             size = solution.vc_sizes.get(vc.vc_id, 0.0)
             vc_miss_ratio[vc.vc_id] = min(float(vc.miss_curve(size)), rate) / rate
 
+        # Vectorized path: per VC, the expected access distance from EVERY
+        # possible core in one spiral of array ops (terms accumulate in the
+        # spread's iteration order via cumsum, bitwise the scalar sums);
+        # threads then just index the per-VC vectors.
+        vc_core_hops: dict[int, np.ndarray] = {}
+        vc_mc_hops: dict[int, float] = {}
+        if use_vectorized():
+            for vc_id, spread in vc_spread.items():
+                banks = np.fromiter(spread.keys(), np.int64, len(spread))
+                fracs = np.fromiter(spread.values(), np.float64, len(spread))
+                vc_core_hops[vc_id] = np.cumsum(
+                    fracs[None, :] * dist[:, banks], axis=1
+                )[:, -1]
+                vc_mc_hops[vc_id] = float(
+                    np.cumsum(fracs * mc_dist[banks])[-1]
+                )
+
         profile_of = {p.process_id: p.profile for p in mix.processes}
         process_of_thread = {
             t: p.process_id for p in mix.processes for t in p.thread_ids
@@ -198,10 +218,14 @@ class AnalyticSystem:
             if total_rate > 0:
                 for vc_id, rate in thread.vc_accesses.items():
                     w = rate / total_rate
-                    spread = vc_spread.get(vc_id, {})
                     mu = vc_miss_ratio.get(vc_id, 0.0)
-                    d = sum(frac * dist[core, b] for b, frac in spread.items())
-                    dm = sum(frac * mc_dist[b] for b, frac in spread.items())
+                    if vc_id in vc_core_hops:
+                        d = vc_core_hops[vc_id][core]
+                        dm = vc_mc_hops[vc_id]
+                    else:
+                        spread = vc_spread.get(vc_id, {})
+                        d = sum(frac * dist[core, b] for b, frac in spread.items())
+                        dm = sum(frac * mc_dist[b] for b, frac in spread.items())
                     e_hops += w * d
                     e_mc_hops += w * mu * dm
                     miss_ratio += w * mu
@@ -241,8 +265,57 @@ class AnalyticSystem:
             profile.base_cpi, profile.llc_apki, onchip, offchip
         )
 
+    def _geometry_arrays(self, geometry: list[dict]) -> dict[str, np.ndarray]:
+        """Per-thread state as (T,) float64 columns for the vectorized
+        bandwidth fixed point (mean/MC hops, miss ratio, profile scalars)."""
+        def column(fn) -> np.ndarray:
+            return np.array([fn(geo) for geo in geometry], dtype=np.float64)
+
+        return {
+            "mean_hops": column(lambda g: g["mean_hops"]),
+            "mc_hops": column(lambda g: g["mc_hops"]),
+            "miss_ratio": column(lambda g: g["miss_ratio"]),
+            "base_cpi": column(lambda g: g["profile"].base_cpi),
+            "apki": column(lambda g: g["profile"].llc_apki),
+            "write_fraction": column(lambda g: g["profile"].write_fraction),
+        }
+
+    def _demand_from_arrays(
+        self, arrays: dict[str, np.ndarray], dram_extra: float
+    ) -> float:
+        """Vectorized :meth:`_demand`: every thread's IPC and miss
+        bandwidth in whole-column operations, reduced with sequential adds
+        (bitwise the scalar thread loop)."""
+        noc = self.config.noc
+        core = self.core_model.config
+        onchip = (
+            2.0 * noc.hop_latency * arrays["mean_hops"]
+            + self.config.cache.bank_latency
+        )
+        mem_lat = (
+            2.0 * noc.hop_latency * arrays["mc_hops"]
+            + self.config.memory.zero_load_latency
+            + dram_extra
+        )
+        offchip = arrays["miss_ratio"] * mem_lat
+        exposed = onchip / core.mlp_onchip + offchip / core.mlp_offchip
+        cpi = arrays["base_cpi"] + (arrays["apki"] / 1000.0) * exposed
+        ipc = 1.0 / cpi
+        mpki = arrays["apki"] * arrays["miss_ratio"]
+        misses_per_cycle = ipc * mpki / 1000.0
+        terms = (
+            misses_per_cycle
+            * CACHE_LINE_BYTES
+            * (1.0 + arrays["write_fraction"])
+        )
+        return float(np.cumsum(terms)[-1]) if len(terms) else 0.0
+
     def _demand(self, geometry: list[dict], dram_extra: float) -> float:
         """DRAM bytes/cycle demanded at the given extra latency."""
+        if use_vectorized() and geometry:
+            return self._demand_from_arrays(
+                self._geometry_arrays(geometry), dram_extra
+            )
         demand = 0.0
         for geo in geometry:
             ipc = self._thread_ipc(geo, dram_extra)
@@ -258,6 +331,17 @@ class AnalyticSystem:
 
     def _solve_bandwidth_fixed_point(self, geometry: list[dict]) -> float:
         dram_extra = 0.0
+        if use_vectorized() and geometry:
+            # Build the (T,) columns once; 25 damped iterations then run as
+            # pure array math.
+            arrays = self._geometry_arrays(geometry)
+            for _ in range(self.iterations):
+                demand = self._demand_from_arrays(arrays, dram_extra)
+                target = self.dram.queueing_delay(demand)
+                dram_extra = (
+                    self.damping * dram_extra + (1.0 - self.damping) * target
+                )
+            return dram_extra
         for _ in range(self.iterations):
             demand = self._demand(geometry, dram_extra)
             target = self.dram.queueing_delay(demand)

@@ -4,12 +4,32 @@ Fig 11d/14/15 break network traffic into L2<->LLC, LLC<->Mem and Other
 flit-hops.  This module centralizes message costing: every logical message
 (request, data response, writeback, move, invalidation) is converted into
 flits x hops and accumulated per class.
+
+Shape conventions
+-----------------
+The batched entry points take parallel ``(M,)`` ``float64`` arrays — one
+entry per *message population* (e.g. one thread's misses per epoch), not
+per message:
+
+* ``hops`` — network distance each population travels (fractional hop
+  counts are fine: they are expectations over a placement's access
+  spread, typically rows of a precomputed mesh distance matrix from
+  ``repro.geometry``);
+* ``counts`` — how many messages are in each population;
+* ``payload_bytes`` — scalar payload shared by the batch (one flit class
+  per call keeps the flit conversion a single multiply).
+
+``add_messages`` reduces ``flits * hops * counts`` with one dot product
+per call; the per-message scalar API remains for the event-driven
+simulator, and both accumulate into the same per-class tallies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+
+import numpy as np
 
 from repro.config import NocConfig
 
@@ -53,6 +73,58 @@ class TrafficCounter:
         *hops* — the common LLC access pattern."""
         self.add_message(cls, hops, payload_bytes=0, count=count)
         self.add_message(cls, hops, payload_bytes=response_bytes, count=count)
+
+    # -- batched accounting --------------------------------------------------
+
+    def add_flit_hops(self, cls: TrafficClass, flit_hops: float) -> None:
+        """Accumulate *already-priced* flit-hops (no flit conversion).
+
+        For callers whose quantities were costed elsewhere — e.g. the
+        analytic engine's per-thread ``traffic_pki`` values, which already
+        include the data-flit multiplication.  ``add_message(s)`` would
+        re-apply a header-flit factor to them.
+        """
+        if flit_hops < 0:
+            raise ValueError("flit-hops cannot be negative")
+        self.flit_hops[cls] += flit_hops
+
+    def add_messages(
+        self,
+        cls: TrafficClass,
+        hops: np.ndarray,
+        payload_bytes: int = 0,
+        counts: np.ndarray | float = 1.0,
+    ) -> None:
+        """Record whole message populations in one array reduction.
+
+        *hops* is ``(M,)``; *counts* is ``(M,)`` or a scalar applied to
+        every population.  Equivalent to M ``add_message`` calls, priced
+        with a single ``flits * (hops . counts)`` dot product.
+        """
+        hops = np.asarray(hops, dtype=np.float64)
+        flits = self.noc.flits_for_bytes(payload_bytes)
+        if np.ndim(counts) == 0:
+            total = float(hops.sum()) * float(counts)
+        else:
+            counts = np.asarray(counts, dtype=np.float64)
+            if counts.shape != hops.shape:
+                raise ValueError(
+                    f"counts shape {counts.shape} != hops shape {hops.shape}"
+                )
+            total = float(hops @ counts)
+        self.flit_hops[cls] += flits * total
+
+    def add_request_responses(
+        self,
+        cls: TrafficClass,
+        hops: np.ndarray,
+        response_bytes: int,
+        counts: np.ndarray | float = 1.0,
+    ) -> None:
+        """Batched :meth:`add_request_response`: header + data response for
+        every population in two array reductions."""
+        self.add_messages(cls, hops, payload_bytes=0, counts=counts)
+        self.add_messages(cls, hops, payload_bytes=response_bytes, counts=counts)
 
     def total(self) -> float:
         return sum(self.flit_hops.values())

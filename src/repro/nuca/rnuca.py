@@ -21,8 +21,13 @@ local tile), so threads are pinned randomly as in the paper's evaluation.
 
 from __future__ import annotations
 
+from repro.cache.miss_curve import MissCurveBatch
+from repro.kernels import use_vectorized
 from repro.nuca.base import NucaScheme, SchemeResult
-from repro.nuca.sharing import shared_cache_occupancies
+from repro.nuca.sharing import (
+    shared_cache_occupancies,
+    shared_cache_occupancies_grouped,
+)
 from repro.sched.problem import PlacementProblem, PlacementSolution
 from repro.sched.thread_placement import random_thread_placement
 from repro.vcache.virtual_cache import VCKind
@@ -65,33 +70,64 @@ class RNuca(NucaScheme):
         ]
 
         # Per-bank LRU sharing between the local thread's private data and
-        # every shared VC's 1/N slice.
+        # every shared VC's 1/N slice.  Each bank is an independent sharing
+        # fixed point; the vectorized path solves all of them in lockstep
+        # through one grouped curve batch (bitwise-identical occupancies).
         core_of = thread_cores
         thread_on_bank = {core: t for t, core in core_of.items()}
         private_occ: dict[int, float] = {}
         shared_occ: dict[int, float] = {vc.vc_id: 0.0 for vc in shared_vcs}
-        for bank in range(tiles):
-            participants = []
-            labels: list[tuple[str, int]] = []
-            local_thread = thread_on_bank.get(bank)
-            if local_thread is not None and local_thread in thread_vcs:
-                curve = thread_vcs[local_thread].miss_curve
-                participants.append(curve.__call__)
-                labels.append(("private", local_thread))
-            for vc in shared_vcs:
-                curve = vc.miss_curve
+        all_labels: list[tuple[str, int]] = []
+        if use_vectorized():
+            curves, arg_scale, divisors, groups = [], [], [], []
+            for bank in range(tiles):
+                start = len(curves)
+                local_thread = thread_on_bank.get(bank)
+                if local_thread is not None and local_thread in thread_vcs:
+                    curves.append(thread_vcs[local_thread].miss_curve)
+                    arg_scale.append(1.0)
+                    divisors.append(1.0)
+                    all_labels.append(("private", local_thread))
+                for vc in shared_vcs:
+                    curves.append(vc.miss_curve)
+                    arg_scale.append(float(tiles))
+                    divisors.append(float(tiles))
+                    all_labels.append(("shared", vc.vc_id))
+                groups.append(range(start, len(curves)))
+            occupancies: list[float] = []
+            if curves:
+                batch = MissCurveBatch(
+                    curves, arg_scale=arg_scale, value_divisor=divisors
+                )
+                occupancies = shared_cache_occupancies_grouped(
+                    batch, groups, bank_bytes
+                ).tolist()
+        else:
+            occupancies = []
+            for bank in range(tiles):
+                participants = []
+                local_thread = thread_on_bank.get(bank)
+                if local_thread is not None and local_thread in thread_vcs:
+                    curve = thread_vcs[local_thread].miss_curve
+                    participants.append(curve.__call__)
+                    all_labels.append(("private", local_thread))
+                for vc in shared_vcs:
+                    curve = vc.miss_curve
 
-                def slice_fn(occ: float, curve=curve, n=tiles) -> float:
-                    return float(curve(occ * n)) / n
+                    def slice_fn(occ: float, curve=curve, n=tiles) -> float:
+                        return float(curve(occ * n)) / n
 
-                participants.append(slice_fn)
-                labels.append(("shared", vc.vc_id))
-            occ = shared_cache_occupancies(participants, bank_bytes)
-            for (kind, ident), o in zip(labels, occ):
-                if kind == "private":
-                    private_occ[ident] = o
-                else:
-                    shared_occ[ident] += o
+                    participants.append(slice_fn)
+                    all_labels.append(("shared", vc.vc_id))
+                if participants:
+                    occupancies.extend(
+                        shared_cache_occupancies(participants, bank_bytes)
+                    )
+        for (kind, ident), o in zip(all_labels, occupancies):
+            if kind == "private":
+                private_occ[ident] = o
+            else:
+                shared_occ[ident] += o
 
         vc_sizes: dict[int, float] = {}
         vc_allocation: dict[int, dict[int, float]] = {}

@@ -14,13 +14,30 @@ unless all footprints fit (then ``P = 0`` and everyone keeps their working
 set).  Both equations are monotone, so nested bisection converges fast.
 This is how streaming apps (milc) crowd fitting apps (omnet) out of an
 unmanaged LLC — the Sec II-B observation that motivates partitioning.
+
+Two implementations solve the same system:
+
+* :func:`shared_cache_occupancies` — the scalar reference: one nested
+  bisection per stream, one ``np.interp`` per probe;
+* :func:`shared_cache_occupancies_batch` — the vectorized kernel: all
+  streams bisect in lockstep, each probe evaluating every miss curve in
+  one :class:`~repro.cache.miss_curve.MissCurveBatch` call.  Per-stream
+  arithmetic and summation order replicate the scalar path exactly, so
+  the two return bitwise-identical occupancies.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
+from repro.cache.miss_curve import MissCurveBatch
+
 MissFn = Callable[[float], float]
+
+#: Bisection iterations (both solvers; enough for double precision).
+_BISECT_ITERS = 60
 
 
 def _occupancy_at_pressure(
@@ -81,3 +98,177 @@ def shared_cache_occupancies(
         scale = capacity / total
         occ = [o * scale for o in occ]
     return occ
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernel
+# ---------------------------------------------------------------------------
+
+
+def _occupancies_at_pressure_batch(
+    batch: MissCurveBatch,
+    pressure: float | np.ndarray,
+    capacity: float,
+    miss_at_zero: np.ndarray,
+    miss_at_cap: np.ndarray,
+) -> np.ndarray:
+    """All streams' ``m(o) = P * o`` solutions at once -> (K,).
+
+    Lockstep bisection: every iteration evaluates all K curves in one
+    batched call; per-lane arithmetic is element-for-element the scalar
+    solver's, so each lane lands on the scalar result bitwise.  *pressure*
+    is a scalar shared by every stream (one cache) or a ``(K,)`` vector of
+    per-stream pressures (the grouped many-caches solve).
+    """
+    k = len(batch)
+    at_cap = (pressure <= 0.0) | (miss_at_cap >= pressure * capacity)
+    inactive = miss_at_zero <= 0.0
+    if bool(np.all(at_cap | inactive)):
+        # Every lane resolves by an early-exit rule; the bisection would
+        # only compute values the masks below discard.
+        return np.where(inactive, 0.0, np.full(k, capacity))
+    lo = np.zeros(k)
+    hi = np.full(k, capacity)
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        cond = batch(mid) >= pressure * mid
+        lo = np.where(cond, mid, lo)
+        hi = np.where(cond, hi, mid)
+    occ = np.where(at_cap, capacity, 0.5 * (lo + hi))
+    return np.where(inactive, 0.0, occ)
+
+
+def shared_cache_occupancies_batch(
+    batch: MissCurveBatch, capacity: float
+) -> list[float]:
+    """Vectorized :func:`shared_cache_occupancies` over a curve batch.
+
+    Returns bitwise-identical occupancies: probe totals are summed in
+    stream order (so every outer-bisection branch matches), and the final
+    rescale multiplies element-wise like the scalar path.
+    """
+    k = len(batch)
+    if capacity <= 0:
+        return [0.0] * k
+    miss_at_zero = batch(0.0)
+    miss_at_cap = batch(capacity)
+
+    def solve(pressure: float) -> np.ndarray:
+        return _occupancies_at_pressure_batch(
+            batch, pressure, capacity, miss_at_zero, miss_at_cap
+        )
+
+    unconstrained = solve(0.0)
+    if sum(unconstrained.tolist()) <= capacity:
+        return unconstrained.tolist()
+
+    def total_occupancy(pressure: float) -> float:
+        return sum(solve(pressure).tolist())
+
+    lo, hi = 1e-12, 1.0
+    while total_occupancy(hi) > capacity:
+        hi *= 4.0
+        if hi > 1e12:
+            break
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo + hi)
+        if total_occupancy(mid) > capacity:
+            lo = mid
+        else:
+            hi = mid
+    pressure = 0.5 * (lo + hi)
+    occ = solve(pressure)
+    total = sum(occ.tolist())
+    if total > capacity and total > 0:
+        occ = occ * (capacity / total)
+    return occ.tolist()
+
+
+def shared_cache_occupancies_grouped(
+    batch: MissCurveBatch,
+    groups: Sequence[Sequence[int]],
+    capacity: float,
+) -> np.ndarray:
+    """Many independent sharing fixed points solved in lockstep -> (K,).
+
+    *groups* partitions the batch's curve indices into independent caches
+    of the same *capacity* (R-NUCA: one group of participants per bank).
+    Every group's nested bisection advances simultaneously — one batched
+    curve evaluation covers every stream of every cache — and each group's
+    probe sequence (expansion, branch decisions, final rescale) replicates
+    running :func:`shared_cache_occupancies` on that group alone, so the
+    per-stream results are bitwise-identical to the scalar per-cache loop.
+    """
+    k = len(batch)
+    if capacity <= 0:
+        return np.zeros(k)
+    miss_at_zero = batch(0.0)
+    miss_at_cap = batch(capacity)
+    index_lists = [np.asarray(list(g), dtype=np.int64) for g in groups]
+
+    def solve(pressures: np.ndarray) -> np.ndarray:
+        """Per-stream occupancies at per-stream pressures -> (K,)."""
+        return _occupancies_at_pressure_batch(
+            batch, pressures, capacity, miss_at_zero, miss_at_cap
+        )
+
+    def group_totals(occ: np.ndarray) -> list[float]:
+        # Stream-order sequential sums, like the scalar per-cache sum().
+        return [sum(occ[idx].tolist()) for idx in index_lists]
+
+    stream_pressure = np.zeros(k)
+    unconstrained = solve(stream_pressure)
+    result = unconstrained.copy()
+    pressured = [
+        g for g, total in enumerate(group_totals(unconstrained))
+        if total > capacity
+    ]
+    if not pressured:
+        return result
+
+    lo_g = {g: 1e-12 for g in pressured}
+    hi_g = {g: 1.0 for g in pressured}
+
+    def probe(values: dict[int, float]) -> dict[int, float]:
+        """Evaluate pressured groups' totals at per-group pressures."""
+        for g, p in values.items():
+            stream_pressure[index_lists[g]] = p
+        occ = solve(stream_pressure)
+        totals = group_totals(occ)
+        return {g: totals[g] for g in values}
+
+    # Bracket expansion, in lockstep (settled groups drop out but the
+    # per-group hi sequence matches the scalar while-loop's).
+    expanding = list(pressured)
+    while expanding:
+        totals = probe({g: hi_g[g] for g in expanding})
+        still = []
+        for g in expanding:
+            if totals[g] > capacity:
+                hi_g[g] *= 4.0
+                if hi_g[g] <= 1e12:
+                    still.append(g)
+        expanding = still
+
+    for _ in range(_BISECT_ITERS):
+        mids = {g: 0.5 * (lo_g[g] + hi_g[g]) for g in pressured}
+        totals = probe(mids)
+        for g in pressured:
+            if totals[g] > capacity:
+                lo_g[g] = mids[g]
+            else:
+                hi_g[g] = mids[g]
+
+    final = {g: 0.5 * (lo_g[g] + hi_g[g]) for g in pressured}
+    for g, p in final.items():
+        stream_pressure[index_lists[g]] = p
+    occ = solve(stream_pressure)
+    totals = group_totals(occ)
+    for g in pressured:
+        idx = index_lists[g]
+        total = totals[g]
+        if total > capacity and total > 0:
+            result[idx] = occ[idx] * (capacity / total)
+        else:
+            result[idx] = occ[idx]
+    return result

@@ -8,8 +8,13 @@ Thread placement is irrelevant by construction (Sec VI-A measures <= 1%).
 
 from __future__ import annotations
 
+from repro.cache.miss_curve import MissCurveBatch
+from repro.kernels import use_vectorized
 from repro.nuca.base import NucaScheme, SchemeResult
-from repro.nuca.sharing import shared_cache_occupancies
+from repro.nuca.sharing import (
+    shared_cache_occupancies,
+    shared_cache_occupancies_batch,
+)
 from repro.sched.problem import PlacementProblem, PlacementSolution
 from repro.sched.thread_placement import random_thread_placement
 
@@ -27,9 +32,14 @@ class SNuca(NucaScheme):
             if sum(problem.accessors_of(vc.vc_id).values()) > 0
         ]
         miss_fns = [vc.miss_curve for vc in active]
-        occupancies = shared_cache_occupancies(
-            [fn.__call__ for fn in miss_fns], float(problem.total_bytes)
-        )
+        if use_vectorized() and miss_fns:
+            occupancies = shared_cache_occupancies_batch(
+                MissCurveBatch(miss_fns), float(problem.total_bytes)
+            )
+        else:
+            occupancies = shared_cache_occupancies(
+                [fn.__call__ for fn in miss_fns], float(problem.total_bytes)
+            )
         vc_sizes: dict[int, float] = {}
         vc_allocation: dict[int, dict[int, float]] = {}
         for vc, occ in zip(active, occupancies):

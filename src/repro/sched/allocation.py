@@ -26,7 +26,14 @@ import heapq
 
 import numpy as np
 
-from repro.sched.cost_model import latency_curve, miss_only_curve
+from repro.kernels import use_vectorized
+from repro.sched.cost_model import (
+    latency_curve,
+    latency_curves_batch,
+    miss_only_curve,
+    miss_only_curves_batch,
+    vc_access_rates,
+)
 from repro.sched.opcount import StepCounter
 from repro.sched.problem import PlacementProblem
 
@@ -34,15 +41,19 @@ from repro.sched.problem import PlacementProblem
 def convex_hull_indices(values: np.ndarray) -> list[int]:
     """Indices of the lower convex hull vertices of ``(i, values[i])``.
 
-    Monotone-chain over an already-sorted x axis: O(n).
+    Monotone-chain over an already-sorted x axis: O(n).  The chain is
+    inherently sequential (each vertex can pop earlier ones), so it stays
+    a Python loop — but over plain floats: element-indexing a NumPy array
+    builds a scalar object per access and dominates the walk's cost.
     """
+    vals = values.tolist() if isinstance(values, np.ndarray) else values
     hull: list[int] = []
-    for i in range(len(values)):
+    for i in range(len(vals)):
         while len(hull) >= 2:
             i0, i1 = hull[-2], hull[-1]
             # Keep i1 only if it bends the chain downward-convex.
-            lhs = (values[i1] - values[i0]) * (i - i1)
-            rhs = (values[i] - values[i1]) * (i1 - i0)
+            lhs = (vals[i1] - vals[i0]) * (i - i1)
+            rhs = (vals[i] - vals[i1]) * (i1 - i0)
             if lhs <= rhs + 1e-12:
                 break
             hull.pop()
@@ -131,10 +142,15 @@ def allocate_latency_aware(
 ) -> dict[int, float]:
     """CDCS capacity allocation: vc_id -> bytes (may not use all capacity)."""
     counter = counter if counter is not None else StepCounter()
-    curves = []
-    for vc in problem.vcs:
-        rate = sum(problem.accessors_of(vc.vc_id).values())
-        curves.append(latency_curve(problem, vc.miss_curve, rate))
+    if use_vectorized():
+        # One batched build: rows are bitwise the per-VC scalar curves, so
+        # the hull walk below makes identical discrete decisions.
+        curves = list(latency_curves_batch(problem))
+    else:
+        curves = [
+            latency_curve(problem, vc.miss_curve, rate)
+            for vc, rate in zip(problem.vcs, vc_access_rates(problem))
+        ]
     budget = problem.total_bytes // problem.quantum
     sizes = _greedy_hull_allocation(curves, budget, counter, "allocation")
     _ensure_minimum_quanta(problem, sizes, budget, curves)
@@ -156,11 +172,14 @@ def allocate_miss_driven(
     allocator cannot see).
     """
     counter = counter if counter is not None else StepCounter()
-    rates = [sum(problem.accessors_of(vc.vc_id).values()) for vc in problem.vcs]
-    curves = [
-        miss_only_curve(problem, vc.miss_curve, rate)
-        for vc, rate in zip(problem.vcs, rates)
-    ]
+    rates = vc_access_rates(problem)
+    if use_vectorized():
+        curves = list(miss_only_curves_batch(problem, rates))
+    else:
+        curves = [
+            miss_only_curve(problem, vc.miss_curve, rate)
+            for vc, rate in zip(problem.vcs, rates)
+        ]
     budget = problem.total_bytes // problem.quantum
     sizes = _greedy_hull_allocation(curves, budget, counter, "allocation")
     leftover = budget - sum(sizes)

@@ -13,6 +13,24 @@ The same functions also build the *latency curves* allocation optimizes
 over (Fig 5): off-chip falls with capacity, on-chip rises, and the sweet
 spot minimizes the sum.  Before placement is known, the on-chip term uses
 the **optimistic** compact placement around the chip center (Fig 6).
+
+Shape conventions
+-----------------
+With ``K = len(problem.vcs)``, ``N = topology.tiles`` and
+``Q = total_bytes // quantum`` (all ``float64`` unless noted):
+
+* ``latency_curves_batch`` / ``miss_only_curves_batch`` — ``(K, Q+1)``;
+  row *i* is VC *i*'s total-latency (resp. off-chip-only) curve indexed by
+  allocated quanta, bitwise row-for-row what the scalar
+  :func:`latency_curve` / :func:`miss_only_curve` return;
+* ``optimistic_on_chip_curve`` — ``(Q+1,)`` mean hops per allocation size;
+* the vectorized Eq 1/Eq 2 evaluators flatten their ``(threads, banks)``
+  term matrices in the scalar loop's iteration order and reduce with
+  ``np.cumsum`` (sequential adds), so totals equal the scalar reference
+  bitwise, not just approximately.
+
+Scalar and vectorized paths are both exported; the public entry points
+dispatch on :func:`repro.kernels.use_vectorized`.
 """
 
 from __future__ import annotations
@@ -21,9 +39,9 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.cache.miss_curve import MissCurve
+from repro.cache.miss_curve import MissCurve, MissCurveBatch
 from repro.geometry.mesh import Topology
-from repro.geometry.placement_math import compact_mean_distance
+from repro.kernels import use_vectorized
 from repro.sched.problem import PlacementProblem, PlacementSolution
 
 
@@ -32,8 +50,10 @@ def round_trip_cycles_per_hop(problem: PlacementProblem) -> float:
     return 2.0 * problem.config.noc.hop_latency
 
 
-def off_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
-    """Eq 1: total off-chip latency (access-rate units x cycles)."""
+def off_chip_latency_scalar(
+    problem: PlacementProblem, solution: PlacementSolution
+) -> float:
+    """Eq 1, scalar reference: one miss-curve probe per VC."""
     total = 0.0
     for vc in problem.vcs:
         size = solution.vc_sizes.get(vc.vc_id, 0.0)
@@ -46,8 +66,42 @@ def off_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> 
     return total
 
 
-def on_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
-    """Eq 2: total on-chip (L2 <-> LLC) latency under a placement."""
+def off_chip_latency_vectorized(
+    problem: PlacementProblem, solution: PlacementSolution
+) -> float:
+    """Eq 1, vectorized: all VCs' miss curves probed in one batched call.
+
+    Terms are reduced in VC order with sequential adds, so the result is
+    bitwise the scalar reference's.
+    """
+    vcs = problem.vcs
+    if not vcs:
+        return 0.0
+    rates = [sum(problem.accessors_of(vc.vc_id).values()) for vc in vcs]
+    sizes = np.array(
+        [solution.vc_sizes.get(vc.vc_id, 0.0) for vc in vcs], dtype=np.float64
+    )
+    misses = MissCurveBatch([vc.miss_curve for vc in vcs])(sizes)
+    rate_arr = np.array(rates, dtype=np.float64)
+    active = rate_arr > 0
+    if not np.any(active):
+        return 0.0
+    fractions = np.minimum(misses[active], rate_arr[active]) / rate_arr[active]
+    terms = rate_arr[active] * fractions * problem.mem_latency
+    return float(np.cumsum(terms)[-1])
+
+
+def off_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
+    """Eq 1: total off-chip latency (access-rate units x cycles)."""
+    if use_vectorized():
+        return off_chip_latency_vectorized(problem, solution)
+    return off_chip_latency_scalar(problem, solution)
+
+
+def on_chip_latency_scalar(
+    problem: PlacementProblem, solution: PlacementSolution
+) -> float:
+    """Eq 2, scalar reference: Python loops over (VC, thread, bank)."""
     per_hop = round_trip_cycles_per_hop(problem)
     dist = problem.topology.distance_matrix
     total = 0.0
@@ -62,6 +116,47 @@ def on_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> f
             for bank, cap in per_bank.items():
                 total += rate * (cap / size) * dist[core, bank] * per_hop
     return total
+
+
+def on_chip_latency_vectorized(
+    problem: PlacementProblem, solution: PlacementSolution
+) -> float:
+    """Eq 2, vectorized: per VC, an (accessors x banks) outer-product term
+    matrix against the distance matrix, flattened in the scalar loop's
+    row-major order and reduced sequentially (bitwise-equal totals)."""
+    per_hop = round_trip_cycles_per_hop(problem)
+    dist = problem.topology.distance_matrix
+    term_blocks: list[np.ndarray] = []
+    for vc in problem.vcs:
+        per_bank = solution.vc_allocation.get(vc.vc_id, {})
+        size = sum(per_bank.values())
+        if size <= 0:
+            continue
+        accessors = problem.accessors_of(vc.vc_id)
+        if not accessors:
+            continue
+        banks = np.fromiter(per_bank.keys(), dtype=np.int64, count=len(per_bank))
+        caps = np.fromiter(per_bank.values(), dtype=np.float64, count=len(per_bank))
+        rates = np.fromiter(accessors.values(), dtype=np.float64, count=len(accessors))
+        cores = np.fromiter(
+            (solution.thread_cores[t] for t in accessors),
+            dtype=np.int64,
+            count=len(accessors),
+        )
+        weights = rates[:, None] * (caps / size)[None, :]
+        term_blocks.append(
+            ((weights * dist[cores[:, None], banks[None, :]]) * per_hop).ravel()
+        )
+    if not term_blocks:
+        return 0.0
+    return float(np.cumsum(np.concatenate(term_blocks))[-1])
+
+
+def on_chip_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
+    """Eq 2: total on-chip (L2 <-> LLC) latency under a placement."""
+    if use_vectorized():
+        return on_chip_latency_vectorized(problem, solution)
+    return on_chip_latency_scalar(problem, solution)
 
 
 def total_latency(problem: PlacementProblem, solution: PlacementSolution) -> float:
@@ -106,13 +201,31 @@ def _optimistic_distance_table(
     Entry q is the average access distance of a VC of ``q`` quanta placed
     compactly around the chip's center tile (Fig 6).  Cached per topology:
     every VC shares the table.
+
+    Built from one prefix sum over the center's spiral distances: a
+    q-quanta footprint covers ``n`` full banks plus a fractional one, so
+    its weighted distance is ``prefix[n-1] + frac * D[n]``.  Full-bank
+    hop sums are integer-exact in float64, so every entry is bitwise what
+    :func:`~repro.geometry.placement_math.compact_mean_distance` returns.
     """
     center = topology.center_tile()
     max_quanta = topology.tiles * (bank_bytes // quantum)
-    table = np.zeros(max_quanta + 1, dtype=np.float64)
-    for q in range(1, max_quanta + 1):
-        size_banks = q * quantum / bank_bytes
-        table[q] = compact_mean_distance(topology, center, size_banks)
+    # Spiral distances from the center and their (exact) prefix sums.
+    ranked = topology.sorted_distance_matrix[center].astype(np.float64)
+    prefix = np.cumsum(ranked)
+    q = np.arange(max_quanta + 1, dtype=np.int64)
+    size_banks = np.minimum(q * quantum / bank_bytes, float(topology.tiles))
+    full = np.floor(size_banks).astype(np.int64)
+    frac = size_banks - full
+    partial = frac > 1e-12
+    last = ranked[np.minimum(full, topology.tiles - 1)]
+    weighted = np.where(full > 0, prefix[np.maximum(full, 1) - 1], 0.0)
+    weighted = weighted + np.where(partial, frac * last, 0.0)
+    total = full + np.where(partial, frac, 0.0)
+    table = np.divide(
+        weighted, total, out=np.zeros_like(weighted), where=total > 0
+    )
+    table[0] = 0.0
     return table
 
 
@@ -154,4 +267,55 @@ def miss_only_curve(
     max_quanta = problem.total_bytes // problem.quantum
     sizes = np.arange(max_quanta + 1, dtype=np.float64) * problem.quantum
     misses = np.minimum(np.asarray(miss_curve(sizes)), access_rate)
+    return problem.mem_latency * misses
+
+
+# ---------------------------------------------------------------------------
+# Batched latency curves (all VCs at once)
+# ---------------------------------------------------------------------------
+
+
+def vc_access_rates(problem: PlacementProblem) -> list[float]:
+    """Aggregate access rate per VC, in ``problem.vcs`` order."""
+    return [
+        sum(problem.accessors_of(vc.vc_id).values()) for vc in problem.vcs
+    ]
+
+
+def latency_curves_batch(
+    problem: PlacementProblem,
+    rates: list[float] | None = None,
+) -> np.ndarray:
+    """All VCs' total-latency curves as one (K, Q+1) matrix.
+
+    Row *i* equals ``latency_curve(problem, problem.vcs[i].miss_curve,
+    rates[i])`` bitwise: the shared quanta grid is evaluated through a
+    :class:`MissCurveBatch` (same interpolation arithmetic) and the Eq 1 /
+    Eq 2 terms are combined with the scalar expression's operation order.
+    """
+    rates = vc_access_rates(problem) if rates is None else rates
+    if any(r < 0 for r in rates):
+        raise ValueError("access rate cannot be negative")
+    dist = optimistic_on_chip_curve(problem)
+    quanta = np.arange(len(dist), dtype=np.float64)
+    sizes = quanta * problem.quantum
+    batch = MissCurveBatch([vc.miss_curve for vc in problem.vcs])
+    rate_arr = np.array(rates, dtype=np.float64)
+    misses = np.minimum(batch.at_grid(sizes), rate_arr[:, None])
+    per_hop = round_trip_cycles_per_hop(problem)
+    return problem.mem_latency * misses + (per_hop * rate_arr)[:, None] * dist[None, :]
+
+
+def miss_only_curves_batch(
+    problem: PlacementProblem,
+    rates: list[float] | None = None,
+) -> np.ndarray:
+    """All VCs' off-chip-only curves as one (K, Q+1) matrix (rows bitwise
+    equal :func:`miss_only_curve`)."""
+    rates = vc_access_rates(problem) if rates is None else rates
+    max_quanta = problem.total_bytes // problem.quantum
+    sizes = np.arange(max_quanta + 1, dtype=np.float64) * problem.quantum
+    batch = MissCurveBatch([vc.miss_curve for vc in problem.vcs])
+    rate_arr = np.array(rates, dtype=np.float64)
+    misses = np.minimum(batch.at_grid(sizes), rate_arr[:, None])
     return problem.mem_latency * misses

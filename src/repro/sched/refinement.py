@@ -15,6 +15,23 @@ With thread locations fixed, data placement becomes concrete:
    D(VC, to))`` summed over both parties; only net-negative (latency-
    reducing) trades execute.  Each VC trades once — the paper found a
    single pass discovers most beneficial trades.
+
+Shape conventions
+-----------------
+All trade valuation runs against per-VC arrays (``N = topology.tiles``):
+
+* ``dvec[vc_id]`` — ``(N,) float64``; access-weighted mean hops from the
+  VC's accessors to every bank (``D(VC, b)``, Sec IV-F).  Built as an
+  ``(accessors, N)`` row stack of ``(rate / total) * dist[core]`` reduced
+  with ``np.cumsum`` along the accessor axis, so each entry matches the
+  scalar accumulation loop bitwise — trade accept/reject decisions are
+  therefore identical between paths;
+* ``used`` — ``(N,) float64`` bytes occupied per bank;
+* the 1-median anchors come from the vectorized
+  :func:`repro.geometry.placement_math.weighted_center_tile`.
+
+The trade scan itself (spiral walk, swap bookkeeping) stays sequential:
+its decisions feed back into the very capacities it iterates over.
 """
 
 from __future__ import annotations
@@ -22,8 +39,54 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.placement_math import weighted_center_tile
+from repro.kernels import use_vectorized
 from repro.sched.opcount import StepCounter
 from repro.sched.problem import PlacementProblem
+
+
+def access_distance_vectors(
+    problem: PlacementProblem,
+    allocation: dict[int, dict[int, float]],
+    thread_cores: dict[int, int],
+) -> tuple[dict[int, np.ndarray], dict[int, float]]:
+    """``(dvec, rate_per_byte)`` for every accessed, placed VC.
+
+    ``dvec[vc_id][b]`` is the access-weighted mean distance from the VC's
+    accessors to bank *b*; ``rate_per_byte`` is its access intensity.  The
+    vectorized build stacks one ``(rate / total) * dist[core]`` row per
+    accessor and reduces with sequential ``cumsum`` adds — bitwise the
+    scalar ``vec += ...`` loop.
+    """
+    topo = problem.topology
+    dist = topo.distance_matrix
+    vectorized = use_vectorized()
+    dvec: dict[int, np.ndarray] = {}
+    rate_per_byte: dict[int, float] = {}
+    for vc in problem.vcs:
+        accessors = problem.accessors_of(vc.vc_id)
+        total_rate = sum(accessors.values())
+        size = sum(allocation.get(vc.vc_id, {}).values())
+        if total_rate <= 0 or size <= 0:
+            continue
+        if vectorized:
+            cores = np.fromiter(
+                (thread_cores[t] for t in accessors),
+                dtype=np.int64,
+                count=len(accessors),
+            )
+            coeffs = np.fromiter(
+                ((rate / total_rate) for rate in accessors.values()),
+                dtype=np.float64,
+                count=len(accessors),
+            )
+            vec = np.cumsum(coeffs[:, None] * dist[cores], axis=0)[-1]
+        else:
+            vec = np.zeros(topo.tiles, dtype=np.float64)
+            for thread_id, rate in accessors.items():
+                vec += (rate / total_rate) * dist[thread_cores[thread_id]]
+        dvec[vc.vc_id] = vec
+        rate_per_byte[vc.vc_id] = total_rate / size
+    return dvec, rate_per_byte
 
 
 def _vc_anchor(problem: PlacementProblem, vc_id: int, thread_cores: dict[int, int]) -> int:
@@ -109,19 +172,9 @@ def trade_refinement(
     bank_bytes = float(problem.bank_bytes)
 
     # Access-weighted distance vector D(VC, b) for every accessed VC.
-    dvec: dict[int, np.ndarray] = {}
-    rate_per_byte: dict[int, float] = {}
-    for vc in problem.vcs:
-        accessors = problem.accessors_of(vc.vc_id)
-        total_rate = sum(accessors.values())
-        size = sum(allocation.get(vc.vc_id, {}).values())
-        if total_rate <= 0 or size <= 0:
-            continue
-        vec = np.zeros(topo.tiles, dtype=np.float64)
-        for thread_id, rate in accessors.items():
-            vec += (rate / total_rate) * dist[thread_cores[thread_id]]
-        dvec[vc.vc_id] = vec
-        rate_per_byte[vc.vc_id] = total_rate / size
+    dvec, rate_per_byte = access_distance_vectors(
+        problem, allocation, thread_cores
+    )
 
     used = np.zeros(topo.tiles, dtype=np.float64)
     holders: dict[int, set[int]] = {b: set() for b in range(topo.tiles)}

@@ -11,10 +11,21 @@ ilbdc before milc in the case study).
 Multithreaded processes need no special casing: shared-heavy threads all
 gravitate to their shared VC's centroid (clustering), private-heavy
 threads follow their private VCs (spreading) — the behavior Fig 16b shows.
+
+Shape conventions
+-----------------
+Each thread's candidate scan indexes one ``(N,) float64`` vector of
+squared Euclidean distances from every tile to the thread's ideal point
+(``N = topology.tiles``), built by
+:func:`repro.geometry.placement_math.squared_point_distances` with the
+scalar per-coordinate accumulation order.  The greedy taken-core scan
+itself is sequential by design (each pick removes a core from ``free``).
 """
 
 from __future__ import annotations
 
+from repro.geometry.placement_math import squared_point_distances
+from repro.kernels import use_vectorized
 from repro.sched.opcount import StepCounter
 from repro.sched.problem import PlacementProblem
 from repro.sched.vc_placement import OptimisticPlacement
@@ -57,13 +68,23 @@ def place_threads(
     )
     free = set(range(topo.tiles))
     assignment: dict[int, int] = {}
+    vectorized = use_vectorized()
     for thread in order:
         point = ideal_point(thread)
+        if vectorized:
+            # One (N,) distance vector per thread; the scan below indexes
+            # it instead of recomputing coordinates core by core.
+            distances = squared_point_distances(topo, point).tolist()
+        else:
+            distances = None
         best_core = -1
         best_dist = float("inf")
         for core in free:
-            coords = topo.coords(core)  # type: ignore[attr-defined]
-            dist = sum((c - p) ** 2 for c, p in zip(coords, point))
+            if distances is not None:
+                dist = distances[core]
+            else:
+                coords = topo.coords(core)  # type: ignore[attr-defined]
+                dist = sum((c - p) ** 2 for c, p in zip(coords, point))
             counter.add("thread_placement")
             if dist < best_dist - 1e-12 or (
                 abs(dist - best_dist) <= 1e-12 and core < best_core

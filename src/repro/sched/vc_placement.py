@@ -9,6 +9,19 @@ beyond their size), and settles around the least-contended center.
 
 The result is deliberately rough: it exists to expose capacity contention,
 not to be the final placement (which step 4 refines).
+
+Shape conventions
+-----------------
+The vectorized step scores **every** candidate center of one VC as two
+``(N,)`` ``float64`` vectors (``N = topology.tiles``): ``contention`` (the
+claimed capacity under the candidate's compact window) and ``spread`` (the
+window's mean access distance), both produced by
+:func:`repro.geometry.placement_math.batched_window_scores` from the
+topology's ``(N, N)`` order/sorted-distance matrices.  The running
+``claimed`` tally is a ``(N,)`` ``float64`` vector.  Candidate selection
+replicates the scalar key ``(round(contention, 9), spread, candidate)``
+with a lexicographic sort, so the chosen centers — and therefore the whole
+downstream placement — are identical to the scalar reference's.
 """
 
 from __future__ import annotations
@@ -18,10 +31,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.placement_math import (
+    batched_window_scores,
     center_of_mass,
     compact_placement,
+    compact_window_weights,
     placement_mean_distance,
 )
+from repro.kernels import use_vectorized
 from repro.sched.opcount import StepCounter
 from repro.sched.problem import PlacementProblem
 
@@ -40,12 +56,12 @@ class OptimisticPlacement:
     claimed: np.ndarray
 
 
-def place_optimistic(
+def place_optimistic_scalar(
     problem: PlacementProblem,
     vc_sizes: dict[int, float],
     counter: StepCounter | None = None,
 ) -> OptimisticPlacement:
-    """Run the Sec IV-D placement for all VCs with non-zero size."""
+    """Scalar reference: one compact window built and scored per candidate."""
     counter = counter if counter is not None else StepCounter()
     topo = problem.topology
     bank_bytes = problem.bank_bytes
@@ -82,3 +98,61 @@ def place_optimistic(
         centers[vc.vc_id] = best_bank
         centroids[vc.vc_id] = center_of_mass(topo, window)
     return OptimisticPlacement(footprints, centers, centroids, claimed)
+
+
+def place_optimistic_vectorized(
+    problem: PlacementProblem,
+    vc_sizes: dict[int, float],
+    counter: StepCounter | None = None,
+) -> OptimisticPlacement:
+    """Vectorized Sec IV-D: per VC, every candidate center is scored in one
+    matrix pass over the precomputed spiral-order matrices.
+
+    The selection key is the scalar reference's ``(round(contention, 9),
+    spread, candidate)``; spiral-ordered ``cumsum`` reductions make both
+    score vectors bitwise-equal to the per-candidate loops, so the chosen
+    centers (and footprints, centroids, claimed tally) are identical.
+    """
+    counter = counter if counter is not None else StepCounter()
+    topo = problem.topology
+    bank_bytes = problem.bank_bytes
+    claimed = np.zeros(topo.tiles, dtype=np.float64)
+    footprints: dict[int, dict[int, float]] = {}
+    centers: dict[int, int] = {}
+    centroids: dict[int, tuple[float, ...]] = {}
+
+    order = sorted(
+        (vc for vc in problem.vcs if vc_sizes.get(vc.vc_id, 0.0) > 0),
+        key=lambda vc: (-vc_sizes[vc.vc_id], vc.vc_id),
+    )
+    candidates = np.arange(topo.tiles)
+    for vc in order:
+        size_banks = vc_sizes[vc.vc_id] / bank_bytes
+        contention, spread = batched_window_scores(topo, claimed, size_banks)
+        weights = compact_window_weights(topo, size_banks)
+        counter.add("vc_placement", topo.tiles * len(weights))
+        # Python round (not np.round) so the noise-absorbing primary key is
+        # digit-for-digit the scalar one; lexsort is stable, so full ties
+        # fall back to the lowest candidate id, like the scalar scan.
+        rounded = np.array([round(float(c), 9) for c in contention])
+        best_bank = int(np.lexsort((candidates, spread, rounded))[0])
+        window_banks = topo.order_matrix[best_bank, : len(weights)]
+        claimed[window_banks] += weights
+        window = {
+            int(t): frac for t, frac in zip(window_banks, weights.tolist())
+        }
+        footprints[vc.vc_id] = {t: frac * bank_bytes for t, frac in window.items()}
+        centers[vc.vc_id] = best_bank
+        centroids[vc.vc_id] = center_of_mass(topo, window)
+    return OptimisticPlacement(footprints, centers, centroids, claimed)
+
+
+def place_optimistic(
+    problem: PlacementProblem,
+    vc_sizes: dict[int, float],
+    counter: StepCounter | None = None,
+) -> OptimisticPlacement:
+    """Run the Sec IV-D placement for all VCs with non-zero size."""
+    if use_vectorized():
+        return place_optimistic_vectorized(problem, vc_sizes, counter)
+    return place_optimistic_scalar(problem, vc_sizes, counter)

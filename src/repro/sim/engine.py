@@ -1,31 +1,56 @@
-"""The trace-driven simulation engine.
+"""The simulation engines: event-driven traces and vectorized epochs.
 
-Event-driven at LLC-access granularity: each thread alternates compute
-phases (instructions at base CPI) with LLC accesses served by the
-:class:`~repro.sim.llc.DistributedLLC`; a heap orders threads and timer
-callbacks (background-invalidation walker steps, reconfigurations) by
-time.  Aggregate IPC is recorded in fixed windows — the Fig 17 trace.
+**TraceSimulator** is event-driven at LLC-access granularity: each thread
+alternates compute phases (instructions at base CPI) with LLC accesses
+served by the :class:`~repro.sim.llc.DistributedLLC`; a heap orders
+threads and timer callbacks (background-invalidation walker steps,
+reconfigurations) by time.  Aggregate IPC is recorded in fixed windows —
+the Fig 17 trace.  Reconfigurations are scheduled with a movement
+protocol (sim.reconfig); bulk invalidations impose a global pause,
+background invalidations run as timer callbacks while cores keep
+executing.
 
-Reconfigurations are scheduled with a movement protocol (sim.reconfig);
-bulk invalidations impose a global pause, background invalidations run as
-timer callbacks while cores keep executing.
+**EpochEngine** is the vectorized alternative for epoch-granular studies
+(steady-state behavior across reconfiguration intervals, Fig 18-style
+sweeps): instead of stepping accesses one heap event at a time, each
+epoch applies one placement solution and advances every thread and VC
+analytically through the batched kernels, carrying state as arrays.
+
+Shape conventions
+-----------------
+EpochEngine state, with ``T`` threads and ``K = len(problem.vcs)`` VCs
+(all ``float64``, fixed across epochs):
+
+* ``instructions``, ``cycles`` — ``(T,)`` cumulative per-thread totals;
+* per epoch: ``ipc`` — ``(T,)``; ``vc_sizes`` — ``(K,)`` bytes allocated
+  to each VC under that epoch's solution (``problem.vcs`` order);
+* traffic accumulates into one :class:`~repro.noc.traffic.TrafficCounter`
+  through its raw ``add_flit_hops`` accumulator — one ``(T,)`` dot per
+  class of already-flit-priced ``traffic_pki`` values (hop expectations
+  courtesy of the precomputed mesh distance matrices behind the
+  evaluation's geometry step).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from collections.abc import Callable
-from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.cache.monitor import UMon
 from repro.config import SystemConfig
 from repro.geometry.mesh import Topology
-from repro.sched.problem import PlacementSolution
+from repro.model.system import AnalyticSystem, MixEvaluation
+from repro.noc.traffic import TrafficClass, TrafficCounter
+from repro.sched.problem import PlacementProblem, PlacementSolution
 from repro.sim.llc import DistributedLLC
 from repro.sim.reconfig import MovementProtocol
 from repro.sim.stats import WindowedIpc
 from repro.workloads.generator import StackDistanceStream
+from repro.workloads.mixes import Mix
 
 
 def weighted_round_robin(weights: dict[int, float]) -> Callable[[], int]:
@@ -183,3 +208,131 @@ class TraceSimulator:
 
     def aggregate_ipc(self, t0: float = 0.0, t1: float = float("inf")) -> float:
         return self.ipc_trace.mean_ipc(t0, t1)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized epoch engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EpochResult:
+    """One epoch's outcome (arrays in ``problem`` thread/VC order)."""
+
+    epoch: int
+    cycles: float
+    #: (T,) per-thread IPC during this epoch.
+    ipc: np.ndarray
+    #: (K,) bytes allocated per VC under this epoch's solution.
+    vc_sizes: np.ndarray
+    #: Aggregate chip IPC (sum of thread IPCs).
+    aggregate_ipc: float
+    #: The full analytic evaluation (latencies, energy, traffic classes).
+    evaluation: MixEvaluation
+
+
+@dataclass
+class EpochTrace:
+    """Accumulated multi-epoch outcome."""
+
+    results: list[EpochResult] = field(default_factory=list)
+
+    def aggregate_ipc_trace(self) -> list[tuple[float, float]]:
+        """(epoch start cycle, aggregate IPC) pairs — the Fig 17-shaped
+        series at epoch granularity."""
+        out, t = [], 0.0
+        for r in self.results:
+            out.append((t, r.aggregate_ipc))
+            t += r.cycles
+        return out
+
+
+class EpochEngine:
+    """Epoch-granular co-scheduling simulation on array state.
+
+    Where :class:`TraceSimulator` steps one heap event per LLC access,
+    this engine treats a whole reconfiguration interval as one step: apply
+    a :class:`PlacementSolution`, evaluate every thread's steady-state IPC
+    through the vectorized analytic kernels (batched miss curves, matrix
+    geometry, array bandwidth fixed point), and advance cumulative
+    per-thread instruction/cycle arrays.  Use it for reconfiguration-
+    period sweeps and long schedules where per-access simulation is
+    intractable; use TraceSimulator when transient movement effects
+    (Fig 17's notch) are the object of study.
+    """
+
+    def __init__(
+        self,
+        mix: Mix,
+        problem: PlacementProblem,
+        system: AnalyticSystem | None = None,
+    ):
+        self.mix = mix
+        self.problem = problem
+        self.system = system or AnalyticSystem(problem.config)
+        n_threads = len(problem.threads)
+        self.instructions = np.zeros(n_threads)
+        self.cycles = np.zeros(n_threads)
+        self.traffic = TrafficCounter(problem.config.noc)
+        self.trace = EpochTrace()
+        self._thread_index = {
+            t.thread_id: i for i, t in enumerate(problem.threads)
+        }
+
+    def run_epoch(self, solution: PlacementSolution, cycles: float) -> EpochResult:
+        """Advance every thread *cycles* cycles under *solution*."""
+        if cycles <= 0:
+            raise ValueError("epoch length must be positive")
+        from repro.nuca.base import SchemeResult
+
+        evaluation = self.system.evaluate_solution(
+            self.mix, self.problem, SchemeResult("epoch", solution)
+        )
+        ipc = np.zeros(len(self.instructions))
+        traffic_pki = {cls: np.zeros(len(self.instructions)) for cls in TrafficClass}
+        for perf in evaluation.threads:
+            idx = self._thread_index[perf.thread_id]
+            ipc[idx] = perf.ipc
+            for cls in TrafficClass:
+                traffic_pki[cls][idx] = perf.traffic_pki[cls.value]
+        retired = ipc * cycles
+        self.instructions += retired
+        self.cycles += cycles
+        # Flit-hops this epoch: per-thread (flit-hops/kilo-instruction x
+        # kilo-instructions retired), one dot per traffic class.  The
+        # traffic_pki values are already flit-priced by the analytic
+        # engine, so they go through the raw accumulator.
+        for cls in TrafficClass:
+            self.traffic.add_flit_hops(
+                cls, float(traffic_pki[cls] @ (retired / 1000.0))
+            )
+        vc_sizes = np.array(
+            [solution.vc_sizes.get(vc.vc_id, 0.0) for vc in self.problem.vcs]
+        )
+        result = EpochResult(
+            epoch=len(self.trace.results),
+            cycles=cycles,
+            ipc=ipc,
+            vc_sizes=vc_sizes,
+            aggregate_ipc=float(ipc.sum()),
+            evaluation=evaluation,
+        )
+        self.trace.results.append(result)
+        return result
+
+    def run_schedule(
+        self, schedule: Sequence[tuple[PlacementSolution, float]]
+    ) -> EpochTrace:
+        """Run a list of (solution, cycles) epochs; returns the trace."""
+        for solution, cycles in schedule:
+            self.run_epoch(solution, cycles)
+        return self.trace
+
+    def mean_ipc_per_thread(self) -> np.ndarray:
+        """(T,) cumulative instructions / cycles across all epochs run."""
+        return np.divide(
+            self.instructions,
+            self.cycles,
+            out=np.zeros_like(self.instructions),
+            where=self.cycles > 0,
+        )

@@ -1,0 +1,405 @@
+"""Golden equivalence: vectorized kernels vs the scalar reference path.
+
+The vectorized epoch kernels (PR 2) are only allowed to be fast — never
+different.  These tests pin that contract at three levels:
+
+* **kernel level** — batched miss-curve evaluation, window scoring, the
+  sharing fixed point, and the Eq 1/Eq 2 cost model reproduce the scalar
+  implementations bitwise (``==``, not ``allclose``) on randomized inputs;
+* **pipeline level** — every NUCA scheme produces an identical
+  :class:`PlacementSolution` through both paths, and a full sweep point
+  produces identical metrics;
+* **regression level** — one golden fig11 datapoint (mix 0 of the 64-app
+  sweep) is pinned against ``tests/golden/fig11_mix0.json`` within
+  ``repro.kernels.EQUIV_RTOL``.
+
+Property-style: inputs are drawn from seeded RNGs, so failures reproduce.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cache.miss_curve import (
+    MissCurve,
+    MissCurveBatch,
+    cliff_curve,
+    exponential_curve,
+    flat_curve,
+)
+from repro.config import default_config, small_test_config
+from repro.experiments.sweeps import SweepResult, evaluate_mix
+from repro.geometry.mesh import Mesh, Torus
+from repro.geometry.placement_math import (
+    batched_window_scores,
+    compact_placement,
+    compact_window_weights,
+    placement_mean_distance,
+    window_contention,
+)
+from repro.kernels import EQUIV_RTOL, scalar_reference, use_vectorized
+from repro.nuca import standard_schemes
+from repro.nuca.base import build_problem
+from repro.nuca.sharing import (
+    shared_cache_occupancies,
+    shared_cache_occupancies_batch,
+    shared_cache_occupancies_grouped,
+)
+from repro.sched.allocation import allocate_latency_aware, allocate_miss_driven
+from repro.sched.cost_model import (
+    latency_curve,
+    latency_curves_batch,
+    miss_only_curve,
+    miss_only_curves_batch,
+    off_chip_latency_scalar,
+    off_chip_latency_vectorized,
+    on_chip_latency_scalar,
+    on_chip_latency_vectorized,
+    vc_access_rates,
+)
+from repro.sched.vc_placement import (
+    place_optimistic_scalar,
+    place_optimistic_vectorized,
+)
+from repro.workloads.mixes import (
+    make_mix,
+    random_multithreaded_mix,
+    random_single_threaded_mix,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "fig11_mix0.json"
+
+
+def random_curves(rng: np.random.Generator, count: int) -> list[MissCurve]:
+    curves: list[MissCurve] = []
+    for _ in range(count):
+        n = int(rng.integers(1, 70))
+        sizes = np.unique(rng.uniform(0.0, 1e8, n))
+        curves.append(MissCurve(sizes, rng.uniform(0.0, 50.0, len(sizes))))
+    curves.append(flat_curve(1e8, 3.0))
+    curves.append(cliff_curve(1e8, 30.0, 5e7, 2.0))
+    curves.append(exponential_curve(1e8, 40.0, 1.0, 1e7))
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Kernel level
+# ---------------------------------------------------------------------------
+
+
+def test_batch_eval_bitwise_matches_per_curve_interp():
+    rng = np.random.default_rng(7)
+    curves = random_curves(rng, 60)
+    batch = MissCurveBatch(curves)
+    for _ in range(20):
+        queries = rng.uniform(-1e7, 1.2e8, len(curves))
+        # Hit exact knots too: interpolation edges are where bugs live.
+        for i, curve in enumerate(curves):
+            if rng.random() < 0.4:
+                queries[i] = curve.sizes[rng.integers(0, len(curve.sizes))]
+        expected = np.array([float(c(q)) for c, q in zip(curves, queries)])
+        assert np.array_equal(batch(queries), expected)
+    grid = np.sort(rng.uniform(0.0, 1.1e8, 257))
+    expected = np.vstack([np.asarray(c(grid)) for c in curves])
+    assert np.array_equal(batch.at_grid(grid), expected)
+    scalar = batch(12345.678)
+    assert np.array_equal(
+        scalar, np.array([float(c(12345.678)) for c in curves])
+    )
+
+
+def test_batch_affine_transform_matches_slice_closures():
+    rng = np.random.default_rng(11)
+    curves = random_curves(rng, 10)
+    n = 16.0
+    batch = MissCurveBatch(
+        curves,
+        arg_scale=[n] * len(curves),
+        value_divisor=[n] * len(curves),
+    )
+    queries = rng.uniform(0.0, 1e7, len(curves))
+    expected = np.array(
+        [float(c(q * n)) / n for c, q in zip(curves, queries)]
+    )
+    assert np.array_equal(batch(queries), expected)
+
+
+def test_compact_window_weights_match_fill_loop():
+    topo = Mesh(6, 6)
+    rng = np.random.default_rng(3)
+    sizes = [0.0, 1e-13, 0.4, 1.0, 1.5, 8.2, 35.999, 36.0, 40.0] + list(
+        rng.uniform(0.0, 40.0, 25)
+    )
+    for size_banks in sizes:
+        window = compact_placement(topo, 14, size_banks)
+        weights = compact_window_weights(topo, size_banks)
+        assert weights.tolist() == list(window.values())
+
+
+def test_batched_window_scores_match_scalar_scoring():
+    rng = np.random.default_rng(5)
+    for topo in (Mesh(6, 6), Mesh(4, 4), Torus(4, 4)):
+        claimed = rng.uniform(0.0, 3.0, topo.tiles)
+        for size_banks in (0.7, 1.0, 5.3, float(topo.tiles)):
+            contention, spread = batched_window_scores(topo, claimed, size_banks)
+            for candidate in range(topo.tiles):
+                window = compact_placement(topo, candidate, size_banks)
+                assert contention[candidate] == window_contention(claimed, window)
+                assert spread[candidate] == placement_mean_distance(
+                    topo, candidate, window
+                )
+
+
+def test_sharing_batch_bitwise_matches_scalar():
+    rng = np.random.default_rng(13)
+    for trial in range(6):
+        curves = random_curves(rng, int(rng.integers(2, 40)))
+        capacity = float(rng.uniform(1e6, 5e8))
+        scalar = shared_cache_occupancies(
+            [c.__call__ for c in curves], capacity
+        )
+        batch = shared_cache_occupancies_batch(MissCurveBatch(curves), capacity)
+        assert batch == scalar
+
+
+def test_sharing_grouped_bitwise_matches_per_group_scalar():
+    rng = np.random.default_rng(17)
+    curves = random_curves(rng, 30)
+    capacity = 2e7
+    group_sizes = [4, 1, 7, 0, 9, len(curves) - 21]
+    groups, start = [], 0
+    for size in group_sizes:
+        groups.append(range(start, start + size))
+        start += size
+    grouped = shared_cache_occupancies_grouped(
+        MissCurveBatch(curves), groups, capacity
+    )
+    for group in groups:
+        idx = list(group)
+        expected = shared_cache_occupancies(
+            [curves[i].__call__ for i in idx], capacity
+        )
+        assert grouped[idx].tolist() == expected
+
+
+def _random_problem(rng: np.random.Generator, multithreaded: bool = False):
+    config = small_test_config(4, 4)
+    if multithreaded:
+        mix = random_multithreaded_mix(2, int(rng.integers(1, 50)), 0)
+    else:
+        mix = random_single_threaded_mix(
+            int(rng.integers(2, 16)), int(rng.integers(1, 50)), 0
+        )
+    return build_problem(mix, config)
+
+
+def test_latency_curve_batches_bitwise_match_scalar_rows():
+    rng = np.random.default_rng(19)
+    for multithreaded in (False, True):
+        problem = _random_problem(rng, multithreaded)
+        rates = vc_access_rates(problem)
+        total_mat = latency_curves_batch(problem, rates)
+        miss_mat = miss_only_curves_batch(problem, rates)
+        for i, vc in enumerate(problem.vcs):
+            assert np.array_equal(
+                total_mat[i], latency_curve(problem, vc.miss_curve, rates[i])
+            )
+            assert np.array_equal(
+                miss_mat[i], miss_only_curve(problem, vc.miss_curve, rates[i])
+            )
+
+
+def test_cost_model_vectorized_bitwise_matches_scalar():
+    rng = np.random.default_rng(23)
+    for multithreaded in (False, True):
+        problem = _random_problem(rng, multithreaded)
+        for scheme in standard_schemes(seed=2):
+            solution = scheme.run(problem).solution
+            assert off_chip_latency_vectorized(
+                problem, solution
+            ) == off_chip_latency_scalar(problem, solution)
+            assert on_chip_latency_vectorized(
+                problem, solution
+            ) == on_chip_latency_scalar(problem, solution)
+
+
+def test_place_optimistic_vectorized_identical_to_scalar():
+    rng = np.random.default_rng(29)
+    for multithreaded in (False, True):
+        problem = _random_problem(rng, multithreaded)
+        vc_sizes = allocate_latency_aware(problem)
+        fast = place_optimistic_vectorized(problem, vc_sizes)
+        slow = place_optimistic_scalar(problem, vc_sizes)
+        assert fast.centers == slow.centers
+        assert fast.footprints == slow.footprints
+        assert fast.centroids == slow.centroids
+        assert np.array_equal(fast.claimed, slow.claimed)
+
+
+def test_allocation_identical_through_both_paths():
+    rng = np.random.default_rng(31)
+    problem = _random_problem(rng)
+    fast_latency = allocate_latency_aware(problem)
+    fast_miss = allocate_miss_driven(problem)
+    with scalar_reference():
+        assert not use_vectorized()
+        slow_latency = allocate_latency_aware(problem)
+        slow_miss = allocate_miss_driven(problem)
+    assert use_vectorized()
+    assert fast_latency == slow_latency
+    assert fast_miss == slow_miss
+
+
+# ---------------------------------------------------------------------------
+# Pipeline level
+# ---------------------------------------------------------------------------
+
+
+def test_all_schemes_identical_solutions_through_both_paths():
+    rng = np.random.default_rng(37)
+    for multithreaded in (False, True):
+        problem = _random_problem(rng, multithreaded)
+        for scheme in standard_schemes(seed=3):
+            fast = scheme.run(problem).solution
+            with scalar_reference():
+                slow = scheme.run(problem).solution
+            assert fast.vc_sizes == slow.vc_sizes, scheme.name
+            assert fast.vc_allocation == slow.vc_allocation, scheme.name
+            assert fast.thread_cores == slow.thread_cores, scheme.name
+
+
+def test_full_sweep_point_identical_through_both_paths():
+    config = small_test_config(4, 4)
+    mix = make_mix(["omnet", "milc", "gcc", "astar"])
+    fast, slow = SweepResult(4, 1), SweepResult(4, 1)
+    evaluate_mix(config, mix, fast, seed=0)
+    with scalar_reference():
+        evaluate_mix(config, mix, slow, seed=0)
+    assert fast.speedups == slow.speedups
+    assert fast.onchip_latency == slow.onchip_latency
+    assert fast.offchip_latency == slow.offchip_latency
+    assert fast.traffic == slow.traffic
+    assert fast.energy == slow.energy
+
+
+# ---------------------------------------------------------------------------
+# Regression level: one golden fig11 datapoint
+# ---------------------------------------------------------------------------
+
+
+def fig11_mix0_record() -> dict:
+    """Mix 0 of the fig11 sweep (64 apps, seed 42) as a plain dict."""
+    from repro.experiments.sweeps import mix_record
+
+    config = default_config()
+    mix = random_single_threaded_mix(64, 42, 0)
+    result = SweepResult(n_apps=64, n_mixes=1)
+    evaluate_mix(config, mix, result, seed=0)
+    return mix_record(result)
+
+
+def _assert_close(got, want, path: str) -> None:
+    if isinstance(want, dict):
+        assert set(got) == set(want), path
+        for key in want:
+            _assert_close(got[key], want[key], f"{path}.{key}")
+    else:
+        assert got == pytest.approx(want, rel=EQUIV_RTOL), path
+
+
+@pytest.mark.slow
+def test_golden_fig11_datapoint_regression():
+    record = fig11_mix0_record()
+    golden = json.loads(GOLDEN.read_text())
+    _assert_close(record, golden, "fig11_mix0")
+
+
+# ---------------------------------------------------------------------------
+# Epoch engine
+# ---------------------------------------------------------------------------
+
+
+def test_epoch_engine_matches_direct_evaluation_and_accumulates():
+    from repro.model.system import AnalyticSystem
+    from repro.nuca.base import SchemeResult
+    from repro.nuca.cdcs import Cdcs
+    from repro.nuca.jigsaw import Jigsaw
+    from repro.sim.engine import EpochEngine
+
+    config = small_test_config(4, 4)
+    mix = make_mix(["omnet", "milc", "gcc", "astar"])
+    problem = build_problem(mix, config)
+    first = Jigsaw("random", 1).run(problem).solution
+    second = Cdcs(seed=1).run(problem).solution
+
+    engine = EpochEngine(mix, problem)
+    trace = engine.run_schedule([(first, 1e5), (second, 4e5)])
+    assert len(trace.results) == 2
+
+    direct = AnalyticSystem(config).evaluate_solution(
+        mix, problem, SchemeResult("x", second)
+    )
+    expected = {t.thread_id: t.ipc for t in direct.threads}
+    epoch = trace.results[1]
+    for i, thread in enumerate(problem.threads):
+        assert epoch.ipc[i] == expected[thread.thread_id]
+
+    # Instructions = sum of ipc x cycles over epochs, per thread.
+    manual = trace.results[0].ipc * 1e5 + trace.results[1].ipc * 4e5
+    assert np.allclose(engine.instructions, manual, rtol=0, atol=0)
+    assert np.all(engine.cycles == 5e5)
+    assert engine.traffic.total() > 0
+    starts = [t for t, _ in trace.aggregate_ipc_trace()]
+    assert starts == [0.0, 1e5]
+
+
+def test_scalar_reference_exports_env_flag_for_workers():
+    """Worker processes spawned inside the block must see the flag."""
+    import os
+
+    from repro.kernels import _ENV_FLAG
+
+    assert os.environ.get(_ENV_FLAG) != "1"
+    with scalar_reference():
+        assert os.environ.get(_ENV_FLAG) == "1"
+        assert not use_vectorized()
+    assert os.environ.get(_ENV_FLAG) != "1"
+    assert use_vectorized()
+
+
+def test_traffic_raw_accumulator_matches_prepriced_values():
+    from repro.noc.traffic import TrafficClass, TrafficCounter
+
+    counter = TrafficCounter()
+    counter.add_flit_hops(TrafficClass.L2_LLC, 123.5)
+    counter.add_flit_hops(TrafficClass.L2_LLC, 0.5)
+    assert counter.flit_hops[TrafficClass.L2_LLC] == 124.0
+    with pytest.raises(ValueError):
+        counter.add_flit_hops(TrafficClass.OTHER, -1.0)
+
+
+def test_traffic_batch_accounting_matches_scalar_loop():
+    from repro.noc.traffic import TrafficClass, TrafficCounter
+
+    rng = np.random.default_rng(41)
+    hops = rng.uniform(0.0, 10.0, 50)
+    counts = rng.uniform(0.0, 1e4, 50)
+    batched = TrafficCounter()
+    batched.add_messages(TrafficClass.L2_LLC, hops, payload_bytes=64, counts=counts)
+    batched.add_request_responses(
+        TrafficClass.LLC_MEM, hops, response_bytes=64, counts=counts
+    )
+    scalar = TrafficCounter()
+    for h, c in zip(hops, counts):
+        scalar.add_message(TrafficClass.L2_LLC, h, payload_bytes=64, count=c)
+        scalar.add_request_response(
+            TrafficClass.LLC_MEM, h, response_bytes=64, count=c
+        )
+    for cls in TrafficClass:
+        assert batched.flit_hops[cls] == pytest.approx(
+            scalar.flit_hops[cls], rel=1e-12
+        )

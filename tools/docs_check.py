@@ -1,13 +1,22 @@
 """Check that the documentation only references things that exist.
 
-Scans the fenced code blocks (and inline code spans) of README.md and
-docs/*.md for three kinds of claims, and fails if any is stale:
+Scans the fenced code blocks (and inline code spans) of README.md,
+docs/*.md, and examples/README.md for three kinds of claims, and fails if
+any is stale:
 
 * ``python -m repro <experiment> --flag ...`` invocations — the experiment
   must be a real CLI choice and every ``--flag`` a real argparse option;
-* dotted module paths (``repro.runner.pool``) — must import;
+* dotted module/function paths (``repro.runner.pool``,
+  ``repro.experiments.run_sweep``,
+  ``repro.sched.cost_model.latency_curves_batch``) — the longest module
+  prefix must import and any remaining attribute chain must resolve;
 * repo file paths (``benchmarks/bench_fig11_single_threaded.py``,
   ``src/repro/...``) — must exist (shell globs are expanded).
+
+Two structural checks ride along: the hardcoded CLI flag list is probed
+against the real parser, and every vectorized-kernel module must keep the
+"Shape conventions" section of its docstring (the array shapes/dtypes
+contract documented in docs/PERFORMANCE.md).
 
 Run via ``make docs-check`` (needs ``PYTHONPATH=src``); exits non-zero
 with one line per problem.
@@ -23,7 +32,25 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+DOC_FILES = [
+    REPO / "README.md",
+    *sorted((REPO / "docs").glob("*.md")),
+    REPO / "examples" / "README.md",
+]
+
+#: Modules whose docstrings must document their array shapes/dtypes (the
+#: kernel layer of PR 2; see docs/PERFORMANCE.md).
+SHAPE_CONVENTION_MODULES = [
+    "repro.cache.miss_curve",
+    "repro.geometry.mesh",
+    "repro.geometry.placement_math",
+    "repro.noc.traffic",
+    "repro.sched.cost_model",
+    "repro.sched.refinement",
+    "repro.sched.thread_placement",
+    "repro.sched.vc_placement",
+    "repro.sim.engine",
+]
 
 _FENCE = re.compile(r"```.*?\n(.*?)```", re.S)
 _INLINE = re.compile(r"`([^`\n]+)`")
@@ -73,30 +100,44 @@ def check_cli_commands(text: str, origin: str, problems: list[str]) -> None:
                     )
 
 
+def resolve_dotted_path(span: str) -> str | None:
+    """Resolve ``repro.a.b.c`` as module, or module + attribute chain.
+
+    Returns None on success, or a one-line problem description.  Tries the
+    longest importable module prefix, then getattrs the remaining names —
+    so function and class references (``repro.experiments.run_sweep``,
+    ``repro.cache.miss_curve.MissCurveBatch``) validate, not just modules.
+    """
+    parts = span.split(".")
+    module = None
+    for cut in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:cut]))
+            break
+        except ImportError:
+            continue
+    if module is None:
+        return f"module {span!r} does not import"
+    obj = module
+    for leaf in parts[cut:]:
+        if not hasattr(obj, leaf):
+            return (
+                f"{span!r}: {'.'.join(parts[:cut])!r} imports but has no "
+                f"attribute chain {'.'.join(parts[cut:])!r}"
+            )
+        obj = getattr(obj, leaf)
+    return None
+
+
 def check_modules_and_paths(
     text: str, origin: str, problems: list[str]
 ) -> None:
     for span in _INLINE.findall(text) + text.split():
         span = span.strip().rstrip(".,;:)")
         if _MODULE.match(span):
-            try:
-                importlib.import_module(span)
-            except ImportError:
-                # Could be an attribute reference like repro.runner.Job:
-                # try the parent module and getattr the leaf.
-                parent, _, leaf = span.rpartition(".")
-                try:
-                    mod = importlib.import_module(parent)
-                except ImportError:
-                    problems.append(
-                        f"{origin}: module {span!r} does not import"
-                    )
-                    continue
-                if not hasattr(mod, leaf):
-                    problems.append(
-                        f"{origin}: {span!r} is neither a module nor an "
-                        f"attribute of {parent!r}"
-                    )
+            problem = resolve_dotted_path(span)
+            if problem is not None:
+                problems.append(f"{origin}: {problem}")
         elif _PATHISH.match(span):
             if span in _BUILD_OUTPUTS:
                 continue
@@ -150,9 +191,32 @@ def verify_flag_list() -> list[str]:
     return problems
 
 
+def check_shape_conventions() -> list[str]:
+    """Kernel modules must document their array shapes and dtypes."""
+    problems = []
+    for name in SHAPE_CONVENTION_MODULES:
+        try:
+            module = importlib.import_module(name)
+        except ImportError as exc:
+            problems.append(
+                f"tools/docs_check.py: kernel module {name!r} does not "
+                f"import ({exc})"
+            )
+            continue
+        doc = module.__doc__ or ""
+        if "Shape conventions" not in doc:
+            problems.append(
+                f"{name}: docstring lost its 'Shape conventions' section "
+                f"(document the array shapes/dtypes flowing through the "
+                f"kernels; see docs/PERFORMANCE.md)"
+            )
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     problems += verify_flag_list()
+    problems += check_shape_conventions()
     for doc in DOC_FILES:
         if not doc.exists():
             problems.append(f"missing documentation file: {doc.name}")
