@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast bench-smoke bench bench-kernels docs-check check clean
+.PHONY: test test-fast lint bench-smoke bench bench-kernels docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -17,15 +17,26 @@ test:
 test-fast:
 	$(PYPATH) $(PY) -m pytest -x -q -m "not slow"
 
+## Static checks: ruff lint rules + formatter drift (see ruff.toml).
+## Skips with a notice where ruff is not installed (the CI lint step
+## installs it; the simulation itself never depends on it).
+lint:
+	@command -v ruff >/dev/null 2>&1 || \
+	    { echo "make lint: ruff not found (pip install ruff); skipping"; exit 0; } ; \
+	ruff check src tests benchmarks tools examples && \
+	ruff format --check src tests benchmarks tools examples
+
 ## Fast end-to-end smoke of the parallel runner + caching through the CLI
-## and one real benchmark driver.
+## and one real benchmark driver.  The trap guarantees the scratch cache
+## is removed even when an invocation fails mid-run (CI runners stay
+## clean); both CLI runs share one shell so the trap covers them all.
 bench-smoke:
 	rm -rf .repro-smoke-cache
+	trap 'rm -rf .repro-smoke-cache' EXIT; \
+	$(PYPATH) $(PY) -m repro fig14 --mixes 2 --jobs $(JOBS) \
+	    --cache-dir .repro-smoke-cache && \
 	$(PYPATH) $(PY) -m repro fig14 --mixes 2 --jobs $(JOBS) \
 	    --cache-dir .repro-smoke-cache
-	$(PYPATH) $(PY) -m repro fig14 --mixes 2 --jobs $(JOBS) \
-	    --cache-dir .repro-smoke-cache
-	rm -rf .repro-smoke-cache
 	$(PYPATH) REPRO_JOBS=$(JOBS) $(PY) -m pytest \
 	    benchmarks/bench_fig14_four_apps.py benchmarks/bench_gmon_vs_umon.py -q
 
@@ -43,7 +54,7 @@ bench-kernels:
 docs-check:
 	$(PYPATH) $(PY) tools/docs_check.py
 
-check: test docs-check
+check: test lint docs-check
 
 clean:
 	rm -rf .repro-cache .repro-smoke-cache benchmarks/benchmark_results.txt

@@ -13,7 +13,7 @@ Run:  python examples/custom_chip_and_workload.py
 from repro import AnalyticSystem, Cdcs, SNuca, weighted_speedup
 from repro.cache.miss_curve import MissCurve, cliff_curve
 from repro.config import SystemConfig
-from repro.geometry import Mesh, Torus
+from repro.geometry import Torus
 from repro.nuca import build_problem
 from repro.util.units import kb, mb
 from repro.workloads.mixes import Mix, ProcessSpec

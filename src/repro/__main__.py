@@ -8,6 +8,8 @@ Usage::
     python -m repro fig11 --cache-dir .repro-cache   # memoize job results
     python -m repro fig17 --no-cache       # force recomputation
     python -m repro table3                 # reconfiguration runtime
+    python -m repro phase_study --mixes 2  # phased workloads vs period
+    python -m repro scalability --tiles 16,64,144,256   # mesh-size sweep
     python -m repro list                   # all available experiments
 
 Sweep-shaped experiments submit one job per point through
@@ -32,9 +34,12 @@ from repro.experiments import (
     run_case_study,
     run_factor_analysis,
     run_monitor_comparison,
+    run_phase_study,
+    run_scalability,
     run_sweep,
     run_table3,
 )
+from repro.experiments.scalability import TILE_POINTS, mesh_width
 from repro.runner import ProcessPoolRunner, ResultStore, run_jobs
 from repro.util.units import mb
 from repro.workloads import get_profile
@@ -110,6 +115,41 @@ def cmd_table3(args) -> None:
     ))
 
 
+def cmd_phase_study(args) -> None:
+    study = run_phase_study(n_mixes=args.mixes, seed=args.seed,
+                            runner=args.runner)
+    rows = [
+        (f"{period / 1e6:g}M",
+         study.mean_gain(period),
+         study.mean_phase_changes(period))
+        for period in study.periods()
+    ]
+    print(format_table(
+        ["period (cycles)", "adaptive/stale IPC", "phase changes"], rows,
+        title=f"Phase study: reconfiguration period vs phase length "
+              f"({args.mixes} phased mixes)",
+    ))
+    period = study.periods()[0]
+    trace = study.trace(period, mix_id=0)
+    print(format_series(
+        f"mix 0 epoch IPC at {period / 1e6:g}M period (Mcycle, IPC)",
+        [(t / 1e6, v) for t, v in trace[:: max(len(trace) // 15, 1)]],
+        fmt="{:.2f}",
+    ))
+
+
+def cmd_scalability(args) -> None:
+    result = run_scalability(tiles=args.tiles, n_mixes=args.mixes,
+                             seed=args.seed, runner=args.runner)
+    print(format_table(
+        ["tiles", "apps", "IPC", "IPC/tile", "hops", "runtime Mcyc",
+         "solve ms"],
+        result.table_rows(),
+        title=f"Scalability: mesh-size sweep at fixed per-tile load "
+              f"({args.mixes} mixes/point)",
+    ))
+
+
 def cmd_gmon(args) -> None:
     for acc in run_monitor_comparison(get_profile("astar"), mb(32),
                                       runner=args.runner):
@@ -129,7 +169,32 @@ COMMANDS = {
     "fig17": cmd_fig17,
     "table3": cmd_table3,
     "gmon": cmd_gmon,
+    "phase_study": cmd_phase_study,
+    "scalability": cmd_scalability,
 }
+
+
+def parse_tiles(text: str) -> tuple[int, ...]:
+    """argparse type for ``--tiles``: comma-separated square tile counts."""
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError(
+            "--tiles needs at least one tile count"
+        )
+    values = []
+    for part in parts:
+        try:
+            count = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--tiles expects comma-separated integers, got {part!r}"
+            ) from None
+        try:
+            mesh_width(count)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        values.append(count)
+    return tuple(values)
 
 
 def _progress_printer(stream=None):
@@ -178,9 +243,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache: recompute and do "
                              "not persist any job output")
+    parser.add_argument("--tiles", type=parse_tiles, default=TILE_POINTS,
+                        metavar="N,N,...",
+                        help="mesh sizes for the scalability sweep, as "
+                             "comma-separated square tile counts "
+                             "(default 16,64,144,256)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if not args.no_cache and args.cache_dir:
+        cache_path = Path(args.cache_dir)
+        if cache_path.exists() and not cache_path.is_dir():
+            parser.error(
+                f"--cache-dir {args.cache_dir!r} exists and is not a "
+                f"directory"
+            )
     if args.experiment == "list":
         print("available experiments:", ", ".join(sorted(COMMANDS)))
         return 0

@@ -26,11 +26,25 @@ from repro.experiments.monitors_study import (
     monitored_curve,
     run_monitor_comparison,
 )
+from repro.experiments.phase_study import (
+    PERIODS,
+    PhaseStudyResult,
+    phase_point,
+    phase_study_jobs,
+    run_phase_study,
+)
 from repro.experiments.placers_study import (
     PLACERS,
     PlacerOutcome,
     placer_jobs,
     run_placer_comparison,
+)
+from repro.experiments.scalability import (
+    TILE_POINTS,
+    ScalabilityResult,
+    run_scalability,
+    scalability_jobs,
+    scalability_point,
 )
 from repro.experiments.reconfig_study import (
     PROTOCOLS,
@@ -63,13 +77,17 @@ __all__ = [
     "GEOMETRIES",
     "MonitorAccuracy",
     "OPERATING_POINTS",
+    "PERIODS",
     "PLACERS",
     "PROTOCOLS",
     "PeriodSweepResult",
+    "PhaseStudyResult",
     "PlacerOutcome",
     "ReconfigTrace",
     "RuntimeRow",
+    "ScalabilityResult",
     "SweepResult",
+    "TILE_POINTS",
     "VARIANTS",
     "curve_error",
     "default_trace_mix",
@@ -82,6 +100,8 @@ __all__ = [
     "mix_record",
     "monitor_jobs",
     "monitored_curve",
+    "phase_point",
+    "phase_study_jobs",
     "placer_jobs",
     "reconfig_trace_jobs",
     "reconfiguration_penalty_cycles",
@@ -90,8 +110,13 @@ __all__ = [
     "run_factor_analysis",
     "run_monitor_comparison",
     "run_period_sweep",
+    "run_phase_study",
     "run_placer_comparison",
     "run_reconfig_trace",
+    "run_scalability",
     "run_sweep",
     "run_table3",
+    "scalability_jobs",
+    "scalability_point",
+    "sweep_jobs",
 ]

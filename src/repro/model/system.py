@@ -415,11 +415,14 @@ class AnalyticSystem:
                 )
 
         total_ipc = sum(t.ipc for t in threads)
-        weighted = lambda key: (
-            sum(t.ipc * t.traffic_pki[key] / 1000.0 for t in threads) / total_ipc
-            if total_ipc > 0
-            else 0.0
-        )
+
+        def weighted(key: str) -> float:
+            if total_ipc <= 0:
+                return 0.0
+            return (
+                sum(t.ipc * t.traffic_pki[key] / 1000.0 for t in threads)
+                / total_ipc
+            )
         flit_hops_per_instr = sum(
             weighted(cls.value) for cls in TrafficClass
         )

@@ -171,7 +171,7 @@ def vc_mean_distance(
 ) -> float:
     """Access-weighted average hops between a VC's accessors and its data
     (the D(VC, b) aggregate used when valuing trades, Sec IV-F)."""
-    vc = problem.vc_by_id(vc_id)
+    problem.vc_by_id(vc_id)  # validates the id
     per_bank = solution.vc_allocation.get(vc_id, {})
     size = sum(per_bank.values())
     accessors = problem.accessors_of(vc_id)

@@ -126,3 +126,31 @@ def reconfigure(
         thread_cores=thread_cores,
     )
     return ReconfigResult(solution, counter, wall)
+
+
+def reconfigure_epoch(
+    mix,
+    config,
+    policy: ReconfigPolicy | None = None,
+    external_thread_cores: dict[int, int] | None = None,
+    topology=None,
+) -> tuple[ReconfigResult, PlacementProblem]:
+    """One epoch-boundary reconfiguration against the mix's *current* curves.
+
+    The periodic runtime (Sec IV-G) does not solve a frozen problem: at
+    every interval it re-reads the GMONs, whose sampled miss curves track
+    whatever the applications are doing *now*.  With phased workloads
+    (:class:`repro.workloads.phased.PhasedProfile`) that matters — the
+    caller snapshots the mix at the current instruction count (e.g.
+    ``EpochEngine.current_mix()``), and this helper rebuilds the placement
+    problem from those active curves before solving, returning both the
+    result and the rebuilt problem so evaluation and solution agree.
+
+    For stationary mixes this is ``reconfigure(build_problem(mix, config))``
+    — the classic single-shot pipeline.
+    """
+    from repro.nuca.base import build_problem  # sched must not import nuca eagerly
+
+    problem = build_problem(mix, config, topology)
+    result = reconfigure(problem, policy, external_thread_cores)
+    return result, problem

@@ -16,6 +16,17 @@ sweeps): instead of stepping accesses one heap event at a time, each
 epoch applies one placement solution and advances every thread and VC
 analytically through the batched kernels, carrying state as arrays.
 
+Both engines pick up **phased workloads**
+(:class:`~repro.workloads.phased.PhasedProfile`) at epoch boundaries: the
+epoch engine snapshots each process's active phase from its cumulative
+retired instructions before evaluating an epoch
+(:meth:`EpochEngine.current_mix`), and the trace simulator retunes thread
+models through :meth:`TraceSimulator.set_thread_profile` (scheduled by
+:func:`repro.sim.setup.schedule_phase_updates`).  Phase position is a pure
+function of the instruction arrays, which are bitwise-identical between
+the vectorized and scalar kernel paths — so phased runs inherit the PR 2
+equivalence contract unchanged.
+
 Shape conventions
 -----------------
 EpochEngine state, with ``T`` threads and ``K = len(problem.vcs)`` VCs
@@ -50,7 +61,7 @@ from repro.sim.llc import DistributedLLC
 from repro.sim.reconfig import MovementProtocol
 from repro.sim.stats import WindowedIpc
 from repro.workloads.generator import StackDistanceStream
-from repro.workloads.mixes import Mix
+from repro.workloads.mixes import Mix, mix_is_phased, snapshot_mix
 
 
 def weighted_round_robin(weights: dict[int, float]) -> Callable[[], int]:
@@ -147,6 +158,39 @@ class TraceSimulator:
         """Sample this VC's accesses into a UMON/GMON (the Sec IV-G loop)."""
         self._monitors[vc_id] = monitor
 
+    def set_thread_profile(
+        self,
+        thread_id: int,
+        base_cpi: float | None = None,
+        apki: float | None = None,
+        write_fraction: float | None = None,
+        streams: dict[int, StackDistanceStream] | None = None,
+        weights: dict[int, float] | None = None,
+    ) -> None:
+        """Retune a running thread's demand model (a phase change).
+
+        Only the given fields change; the thread keeps its core, clock, and
+        cumulative counters, so a phased app's IPC trace is continuous
+        through the switch.  Already-resident lines from the previous phase
+        age out of the LLC naturally — exactly how a real phase change
+        looks to the cache.
+        """
+        for thread in self.threads:
+            if thread.thread_id == thread_id:
+                break
+        else:
+            raise KeyError(f"no thread with id {thread_id}")
+        if base_cpi is not None:
+            thread.base_cpi = base_cpi
+        if apki is not None:
+            thread.apki = apki
+        if write_fraction is not None:
+            thread.write_fraction = write_fraction
+        if streams is not None:
+            thread.streams = streams
+        if weights is not None:
+            thread.picker = weighted_round_robin(weights)
+
     def schedule(self, time: float, callback: Callable[[], None]) -> None:
         heapq.heappush(self._heap, (time, next(self._seq), -1, callback))
 
@@ -229,6 +273,9 @@ class EpochResult:
     aggregate_ipc: float
     #: The full analytic evaluation (latencies, energy, traffic classes).
     evaluation: MixEvaluation
+    #: process_id -> active phase index at the epoch's start (phased
+    #: processes only; empty for stationary mixes).
+    phases: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -259,6 +306,17 @@ class EpochEngine:
     period sweeps and long schedules where per-access simulation is
     intractable; use TraceSimulator when transient movement effects
     (Fig 17's notch) are the object of study.
+
+    **Phased mixes:** when the mix contains
+    :class:`~repro.workloads.phased.PhasedProfile` apps, every epoch is
+    evaluated against the mix's *active* snapshot — each process's phase
+    is read off its threads' cumulative retired instructions at the epoch
+    boundary (:meth:`current_mix` / :meth:`current_problem`), which is
+    also the problem a caller should hand to
+    :func:`repro.sched.reconfigure.reconfigure` (or build via
+    :func:`repro.sched.reconfigure.reconfigure_epoch`) to get that
+    epoch's placement.  Stationary mixes take the original fast path
+    untouched.
     """
 
     def __init__(
@@ -278,15 +336,84 @@ class EpochEngine:
         self._thread_index = {
             t.thread_id: i for i, t in enumerate(problem.threads)
         }
+        self._phased = mix_is_phased(mix)
+        self._process_threads = {
+            p.process_id: [self._thread_index[t] for t in p.thread_ids]
+            for p in mix.processes
+        }
+        #: phase-index tuple -> (snapshot mix, snapshot problem); phases
+        #: revisit (schedules cycle), so snapshots are reused across epochs.
+        self._snapshots: dict[tuple[int, ...], tuple[Mix, PlacementProblem]] = {}
+
+    # -- phase bookkeeping ---------------------------------------------------
+
+    def process_instructions(self) -> dict[int, float]:
+        """process_id -> mean cumulative instructions of its threads (the
+        phase clock).  The mean is an ordered sum over thread index, so it
+        is bitwise-identical between kernel paths."""
+        out = {}
+        for pid, idxs in self._process_threads.items():
+            total = 0.0
+            for i in idxs:
+                total += float(self.instructions[i])
+            out[pid] = total / len(idxs)
+        return out
+
+    def current_phases(self) -> dict[int, int]:
+        """process_id -> active phase index, for phased processes only."""
+        if not self._phased:
+            return {}
+        clock = self.process_instructions()
+        out = {}
+        for proc in self.mix.processes:
+            phase_at = getattr(proc.profile, "phase_index", None)
+            if phase_at is not None:
+                out[proc.process_id] = phase_at(clock[proc.process_id])
+        return out
+
+    def _snapshot(self) -> tuple[Mix, PlacementProblem]:
+        """The active (mix, problem) for the epoch about to run."""
+        if not self._phased:
+            return self.mix, self.problem
+        phases = self.current_phases()
+        key = tuple(sorted(phases.items()))
+        if key not in self._snapshots:
+            from repro.nuca.base import build_problem
+
+            mix = snapshot_mix(self.mix, self.process_instructions())
+            self._snapshots[key] = (
+                mix,
+                build_problem(mix, self.problem.config, self.problem.topology),
+            )
+        return self._snapshots[key]
+
+    def current_mix(self) -> Mix:
+        """The mix with every phased process at its active phase."""
+        return self._snapshot()[0]
+
+    def current_problem(self) -> PlacementProblem:
+        """The placement problem of the active snapshot — what a
+        reconfiguration at this epoch boundary solves (its curves are what
+        hardware monitors would report for the coming interval)."""
+        return self._snapshot()[1]
+
+    # -- epochs --------------------------------------------------------------
 
     def run_epoch(self, solution: PlacementSolution, cycles: float) -> EpochResult:
-        """Advance every thread *cycles* cycles under *solution*."""
+        """Advance every thread *cycles* cycles under *solution*.
+
+        For phased mixes the evaluation runs against the active phase
+        snapshot; the solution should come from a reconfiguration of
+        :meth:`current_problem` (a stale solution is legal — that is the
+        "placement lags the phases" experiment)."""
         if cycles <= 0:
             raise ValueError("epoch length must be positive")
         from repro.nuca.base import SchemeResult
 
+        phases = self.current_phases()
+        mix, problem = self._snapshot()
         evaluation = self.system.evaluate_solution(
-            self.mix, self.problem, SchemeResult("epoch", solution)
+            mix, problem, SchemeResult("epoch", solution)
         )
         ipc = np.zeros(len(self.instructions))
         traffic_pki = {cls: np.zeros(len(self.instructions)) for cls in TrafficClass}
@@ -307,7 +434,7 @@ class EpochEngine:
                 cls, float(traffic_pki[cls] @ (retired / 1000.0))
             )
         vc_sizes = np.array(
-            [solution.vc_sizes.get(vc.vc_id, 0.0) for vc in self.problem.vcs]
+            [solution.vc_sizes.get(vc.vc_id, 0.0) for vc in problem.vcs]
         )
         result = EpochResult(
             epoch=len(self.trace.results),
@@ -316,6 +443,7 @@ class EpochEngine:
             vc_sizes=vc_sizes,
             aggregate_ipc=float(ipc.sum()),
             evaluation=evaluation,
+            phases=phases,
         )
         self.trace.results.append(result)
         return result

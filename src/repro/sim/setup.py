@@ -21,6 +21,7 @@ from repro.sim.engine import TraceSimulator
 from repro.sim.llc import DistributedLLC
 from repro.workloads.generator import StackDistanceStream, suggested_footprint
 from repro.workloads.mixes import Mix
+from repro.workloads.phased import PhasedProfile
 from repro.workloads.profiles import AppProfile
 
 #: Address-space stride between VCs so streams never alias.
@@ -58,6 +59,97 @@ def scale_solution(solution: PlacementSolution, scale: int) -> PlacementSolution
     )
 
 
+def _make_stream(
+    curve, apki: float, vc_id: int, seed: int
+) -> StackDistanceStream:
+    return StackDistanceStream(
+        curve,
+        apki=max(apki, 1e-6),
+        footprint_bytes=suggested_footprint(curve, max(apki, 1e-6)),
+        address_base=(vc_id + 1) * _VC_ADDRESS_STRIDE,
+        seed=seed,
+    )
+
+
+def schedule_phase_updates(
+    sim: TraceSimulator,
+    mix: Mix,
+    period: float,
+    horizon: float,
+    capacity_scale: int = 8,
+    seed: int = 1,
+) -> None:
+    """Re-read phased apps' active phases at every epoch boundary.
+
+    Schedules a callback at each multiple of *period* up to *horizon*; the
+    callback reads every phased process's cumulative retired instructions
+    (mean over its threads — the same phase clock the epoch engine uses)
+    and, on a phase change, retunes the threads through
+    :meth:`TraceSimulator.set_thread_profile`: new base CPI, APKI, write
+    fraction, VC weights, and fresh address streams realizing the new
+    phase's (capacity-scaled) miss curves.  Stationary processes are never
+    touched; a mix without phased apps schedules nothing.
+    """
+    from repro.nuca.base import process_vc_id
+
+    phased = [
+        p for p in mix.processes if isinstance(p.profile, PhasedProfile)
+    ]
+    if not phased:
+        return
+    current = {p.process_id: 0 for p in phased}
+
+    def update() -> None:
+        threads_by_id = {t.thread_id: t for t in sim.threads}
+        for proc in phased:
+            total = 0.0
+            for thread_id in proc.thread_ids:
+                total += threads_by_id[thread_id].instructions
+            clock = total / proc.profile.threads
+            index, profile = proc.profile.phase_at(clock)
+            if index == current[proc.process_id]:
+                continue
+            current[proc.process_id] = index
+            scaled = scaled_profile(profile, capacity_scale)
+            phase_seed = seed + 7919 * (index + 1)
+            shared_vc = process_vc_id(proc.process_id)
+            shared_stream: StackDistanceStream | None = None
+            if scaled.shared_apki > 0 and scaled.shared_curve is not None:
+                shared_stream = _make_stream(
+                    scaled.shared_curve.scaled(scaled.threads),
+                    scaled.shared_apki * scaled.threads,
+                    shared_vc,
+                    phase_seed,
+                )
+            for thread_id in proc.thread_ids:
+                streams = {}
+                weights = {}
+                if scaled.private_apki > 0:
+                    weights[thread_id] = scaled.private_apki
+                    streams[thread_id] = _make_stream(
+                        scaled.private_curve,
+                        scaled.private_apki,
+                        thread_id,
+                        phase_seed,
+                    )
+                if shared_stream is not None:
+                    weights[shared_vc] = scaled.shared_apki
+                    streams[shared_vc] = shared_stream
+                sim.set_thread_profile(
+                    thread_id,
+                    base_cpi=scaled.base_cpi,
+                    apki=scaled.llc_apki,
+                    write_fraction=scaled.write_fraction,
+                    streams=streams,
+                    weights=weights,
+                )
+
+    boundary = period
+    while boundary < horizon:
+        sim.schedule(boundary, update)
+        boundary += period
+
+
 def build_trace_simulation(
     mix: Mix,
     config: SystemConfig,
@@ -83,10 +175,14 @@ def build_trace_simulation(
     sim = TraceSimulator(config, topo, llc, window_cycles=window_cycles)
 
     # One shared stream per process VC (threads interleave into it), one
-    # private stream per thread.
+    # private stream per thread.  Phased apps start in their initial
+    # phase; schedule_phase_updates retunes them at epoch boundaries.
     shared_streams: dict[int, StackDistanceStream] = {}
     for proc in mix.processes:
-        profile = scaled_profile(proc.profile, capacity_scale)
+        static = proc.profile
+        if isinstance(static, PhasedProfile):
+            static = static.at_instructions(0.0)
+        profile = scaled_profile(static, capacity_scale)
         for thread_id in proc.thread_ids:
             spec = next(
                 t for t in problem.threads if t.thread_id == thread_id

@@ -1,9 +1,11 @@
-"""Workload model: app profiles (miss curves + intensities), mix
-generation, and synthetic address streams realizing a target miss curve."""
+"""Workload model: app profiles (miss curves + intensities), phased
+(time-varying) profiles, mix generation, and synthetic address streams
+realizing a target miss curve."""
 
 from repro.workloads.generator import (
     StackDistanceStream,
     measure_miss_curve,
+    random_phased_profile,
     suggested_footprint,
 )
 from repro.workloads.mixes import (
@@ -12,8 +14,17 @@ from repro.workloads.mixes import (
     case_study_mix,
     fig16_case_study_mix,
     make_mix,
+    mix_is_phased,
     random_multithreaded_mix,
+    random_phased_mix,
     random_single_threaded_mix,
+    snapshot_mix,
+)
+from repro.workloads.phased import (
+    PHASED_PROFILES,
+    Phase,
+    PhasedProfile,
+    compose_phased,
 )
 from repro.workloads.profiles import (
     ALL_PROFILES,
@@ -21,6 +32,7 @@ from repro.workloads.profiles import (
     SINGLE_THREADED,
     AppProfile,
     get_profile,
+    get_static_profile,
 )
 
 __all__ = [
@@ -28,15 +40,24 @@ __all__ = [
     "AppProfile",
     "MULTI_THREADED",
     "Mix",
+    "PHASED_PROFILES",
+    "Phase",
+    "PhasedProfile",
     "ProcessSpec",
     "SINGLE_THREADED",
     "StackDistanceStream",
     "case_study_mix",
+    "compose_phased",
     "fig16_case_study_mix",
     "get_profile",
+    "get_static_profile",
     "make_mix",
     "measure_miss_curve",
+    "mix_is_phased",
     "random_multithreaded_mix",
+    "random_phased_mix",
+    "random_phased_profile",
     "random_single_threaded_mix",
+    "snapshot_mix",
     "suggested_footprint",
 ]

@@ -21,6 +21,8 @@ import numpy as np
 from repro.cache.miss_curve import MissCurve
 from repro.util.rng import child_rng
 from repro.util.units import CACHE_LINE_BYTES
+from repro.workloads.phased import Phase, PhasedProfile
+from repro.workloads.profiles import SINGLE_THREADED, get_static_profile
 
 
 def suggested_footprint(miss_curve: MissCurve, apki: float) -> float:
@@ -128,6 +130,64 @@ class StackDistanceStream:
     def addresses(self, count: int) -> list[int]:
         """Generate *count* consecutive line addresses."""
         return [self.next_address() for _ in range(count)]
+
+
+#: Seed-stream offset reserving an independent RNG lane for phase
+#: schedules (mix generation uses low offsets; see repro.util.rng).
+_PHASE_SEED_LANE = 0x7A5E
+
+#: Default bounds on one phase's length, in instructions: 150M–600M keeps
+#: each phase a few reconfiguration intervals long at the paper's 50 Mcycle
+#: period, so both "runtime tracks phases" and "placement goes stale"
+#: regimes are reachable by sweeping the period.
+DEFAULT_PHASE_INSTRUCTIONS = (150e6, 600e6)
+
+
+def random_phased_profile(
+    seed: int,
+    index: int = 0,
+    pool: list[str] | None = None,
+    phase_count: tuple[int, int] = (2, 4),
+    phase_instructions: tuple[float, float] = DEFAULT_PHASE_INSTRUCTIONS,
+) -> PhasedProfile:
+    """Generate a seeded random phase schedule from a pool of static apps.
+
+    Draws 2–4 phases (inclusive bounds from *phase_count*), each a static
+    profile from *pool* (default: the single-threaded registry) active for
+    a uniform-random instruction count in *phase_instructions*, rounded to
+    whole megainstructions.  Consecutive phases always differ — including
+    across the cycle wrap (last vs first), pool size permitting — because
+    a repeated app would be one longer phase, not a phase change.  Fully
+    determined by ``(seed, index)`` — the same pair reproduces the same
+    schedule in any process, which is what makes phased experiment jobs
+    cacheable.
+    """
+    if phase_count[0] < 1 or phase_count[1] < phase_count[0]:
+        raise ValueError(f"bad phase count bounds {phase_count}")
+    rng = child_rng(seed, _PHASE_SEED_LANE + index)
+    names = sorted(pool) if pool is not None else sorted(SINGLE_THREADED)
+    if len(names) < 2:
+        raise ValueError("phase generation needs at least two distinct apps")
+    n_phases = int(rng.integers(phase_count[0], phase_count[1] + 1))
+    lo, hi = phase_instructions
+    phases: list[Phase] = []
+    previous: str | None = None
+    for position in range(n_phases):
+        excluded = {previous}
+        if position == n_phases - 1 and phases:
+            # The schedule cycles: the last phase wraps into the first,
+            # so their apps must differ too (unless the pool is too small
+            # to allow it).
+            excluded.add(phases[0].profile.name)
+        candidates = [n for n in names if n not in excluded]
+        if not candidates:
+            candidates = [n for n in names if n != previous]
+        app = candidates[int(rng.integers(0, len(candidates)))]
+        length = float(np.round(rng.uniform(lo, hi) / 1e6) * 1e6)
+        phases.append(Phase(get_static_profile(app), length))
+        previous = app
+    label = "~".join(p.profile.name for p in phases)
+    return PhasedProfile(name=f"{label}#{seed}.{index}", phases=tuple(phases))
 
 
 def measure_miss_curve(

@@ -222,10 +222,27 @@ MULTI_THREADED: dict[str, AppProfile] = _multithreaded_profiles()
 ALL_PROFILES: dict[str, AppProfile] = {**SINGLE_THREADED, **MULTI_THREADED}
 
 
-def get_profile(name: str) -> AppProfile:
-    """Look up a profile by name; raises ``KeyError`` with the known names."""
+def get_static_profile(name: str) -> AppProfile:
+    """Look up a *static* profile by name (phased registry excluded — this
+    is what phase schedules are composed from)."""
     try:
         return ALL_PROFILES[name]
     except KeyError:
         known = ", ".join(sorted(ALL_PROFILES))
         raise KeyError(f"unknown app {name!r}; known apps: {known}") from None
+
+
+def get_profile(name: str):
+    """Look up a profile by name — static pools first, then the named
+    phased schedules (``repro.workloads.phased.PHASED_PROFILES``), so mixes
+    name phased apps exactly like static ones.  Raises ``KeyError`` listing
+    every known name."""
+    if name in ALL_PROFILES:
+        return ALL_PROFILES[name]
+    # Imported lazily: phased composes its schedules from this module.
+    from repro.workloads.phased import PHASED_PROFILES
+
+    if name in PHASED_PROFILES:
+        return PHASED_PROFILES[name]
+    known = ", ".join(sorted(ALL_PROFILES) + sorted(PHASED_PROFILES))
+    raise KeyError(f"unknown app {name!r}; known apps: {known}")

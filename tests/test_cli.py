@@ -1,4 +1,5 @@
-"""The `python -m repro` command-line interface."""
+"""The `python -m repro` command-line interface: experiments run, bad
+invocations fail with exit code 2 and a usable stderr message."""
 
 import pytest
 
@@ -8,13 +9,102 @@ from repro.__main__ import main
 def test_list_command(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    for name in ("table1", "fig11", "fig13", "fig17", "table3", "gmon"):
+    for name in ("table1", "fig11", "fig13", "fig17", "table3", "gmon",
+                 "phase_study", "scalability"):
         assert name in out
 
 
 def test_invalid_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["not-an-experiment"])
+
+
+# ---------------------------------------------------------------------------
+# Failure paths: argparse must exit 2 and say what was wrong on stderr.
+# ---------------------------------------------------------------------------
+
+
+def _expect_usage_error(capsys, argv: list[str], *needles: str) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    for needle in needles:
+        assert needle in err, f"stderr missing {needle!r}: {err}"
+
+
+def test_unknown_experiment_reports_choices(capsys):
+    _expect_usage_error(capsys, ["frobnicate"], "invalid choice",
+                        "frobnicate")
+
+
+def test_jobs_zero_rejected(capsys):
+    _expect_usage_error(capsys, ["fig14", "--jobs", "0"],
+                        "--jobs must be >= 1")
+
+
+def test_jobs_negative_rejected(capsys):
+    _expect_usage_error(capsys, ["fig14", "--jobs", "-3"],
+                        "--jobs must be >= 1")
+
+
+def test_jobs_non_integer_rejected(capsys):
+    _expect_usage_error(capsys, ["fig14", "--jobs", "many"],
+                        "invalid int value")
+
+
+def test_cache_dir_colliding_with_file_rejected(capsys, tmp_path):
+    collision = tmp_path / "not-a-dir"
+    collision.write_text("occupied")
+    _expect_usage_error(
+        capsys, ["fig14", "--cache-dir", str(collision)],
+        "--cache-dir", "not a directory",
+    )
+
+
+def test_cache_dir_file_collision_ignored_with_no_cache(capsys, tmp_path):
+    # --no-cache never touches the path, so the collision is irrelevant.
+    collision = tmp_path / "not-a-dir"
+    collision.write_text("occupied")
+    assert main(["list", "--cache-dir", str(collision), "--no-cache"]) == 0
+
+
+def test_tiles_non_square_rejected(capsys):
+    _expect_usage_error(capsys, ["scalability", "--tiles", "16,10"],
+                        "perfect square", "10")
+
+
+def test_tiles_non_integer_rejected(capsys):
+    _expect_usage_error(capsys, ["scalability", "--tiles", "16,abc"],
+                        "comma-separated integers")
+
+
+def test_tiles_empty_rejected(capsys):
+    _expect_usage_error(capsys, ["scalability", "--tiles", ","],
+                        "at least one tile count")
+
+
+# ---------------------------------------------------------------------------
+# New-experiment smokes
+# ---------------------------------------------------------------------------
+
+
+def test_scalability_command_small(capsys, tmp_path):
+    assert main(["scalability", "--tiles", "16", "--mixes", "1",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "Scalability" in out and "IPC/tile" in out
+
+
+@pytest.mark.slow
+def test_phase_study_command_small(capsys, tmp_path):
+    assert main(["phase_study", "--mixes", "1", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    captured = capsys.readouterr()
+    assert "Phase study" in captured.out
+    assert "adaptive/stale IPC" in captured.out
+    assert "epoch IPC" in captured.out
+    assert "jobs done" in captured.err
 
 
 @pytest.mark.slow

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config import (
-    CacheConfig,
     case_study_config,
     default_config,
     small_test_config,
@@ -84,6 +83,7 @@ def test_rng_helpers_reproducible():
     b = child_rng(7, 1, 2).integers(1000)
     c = child_rng(7, 2, 1).integers(1000)
     assert a == b
+    assert c != a  # argument order selects a different stream
     seeds = spawn_seeds(7, 5)
     assert len(seeds) == len(set(seeds)) == 5
     assert seeds == spawn_seeds(7, 5)

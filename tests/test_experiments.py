@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import small_test_config
 from repro.experiments import (
-    default_trace_mix,
     format_breakdown,
     format_series,
     format_table,

@@ -403,3 +403,122 @@ def test_traffic_batch_accounting_matches_scalar_loop():
         assert batched.flit_hops[cls] == pytest.approx(
             scalar.flit_hops[cls], rel=1e-12
         )
+
+
+# ---------------------------------------------------------------------------
+# Phased epochs: phase lookups are functions of the instruction arrays,
+# which the contract already pins — so every phased outcome (snapshots,
+# reconfigurations, epoch metrics, whole study points) must be identical
+# (``==``) through both kernel paths.
+# ---------------------------------------------------------------------------
+
+
+def _run_phased_schedule(n_epochs: int = 8, cycles: float = 150e6):
+    """One adaptive phased run: reconfigure each epoch, collect state."""
+    from repro.sched.reconfigure import reconfigure
+    from repro.sim.engine import EpochEngine
+    from repro.workloads.mixes import make_mix as mm
+
+    config = small_test_config(4, 4)
+    mix = mm(["omnet~milc", "xalancbmk~gcc", "astar", "milc"])
+    engine = EpochEngine(mix, build_problem(mix, config))
+    solutions = []
+    for _ in range(n_epochs):
+        result = reconfigure(engine.current_problem())
+        engine.run_epoch(result.solution, cycles)
+        solutions.append(result.solution)
+    return engine, solutions
+
+
+def test_phased_epoch_schedule_identical_through_both_paths():
+    fast, fast_solutions = _run_phased_schedule()
+    with scalar_reference():
+        slow, slow_solutions = _run_phased_schedule()
+    assert fast.instructions.tolist() == slow.instructions.tolist()
+    assert fast.cycles.tolist() == slow.cycles.tolist()
+    for f, s in zip(fast.trace.results, slow.trace.results):
+        assert f.phases == s.phases
+        assert f.ipc.tolist() == s.ipc.tolist()
+        assert f.vc_sizes.tolist() == s.vc_sizes.tolist()
+        assert f.aggregate_ipc == s.aggregate_ipc
+    for f, s in zip(fast_solutions, slow_solutions):
+        assert f.vc_sizes == s.vc_sizes
+        assert f.vc_allocation == s.vc_allocation
+        assert f.thread_cores == s.thread_cores
+
+
+def test_phased_schedule_crosses_boundaries_identically():
+    fast, _ = _run_phased_schedule(n_epochs=10, cycles=250e6)
+    with scalar_reference():
+        slow, _ = _run_phased_schedule(n_epochs=10, cycles=250e6)
+    fast_phases = [r.phases for r in fast.trace.results]
+    slow_phases = [r.phases for r in slow.trace.results]
+    assert fast_phases == slow_phases
+    # The schedule really exercises phase dynamics: both phased processes
+    # must have left their initial phase at some point.
+    assert any(p[0] == 1 for p in fast_phases)
+    assert any(p[1] == 1 for p in fast_phases)
+
+
+def test_phased_reconfiguration_solutions_identical_through_both_paths():
+    from repro.sched.reconfigure import reconfigure_epoch
+    from repro.workloads.mixes import random_phased_mix, snapshot_mix
+
+    config = small_test_config(4, 4)
+    mix = random_phased_mix(5, 42, 0)
+    # Snapshot mid-schedule: every process somewhere inside its phases.
+    clock = {p.process_id: 2e8 + 5e7 * p.process_id for p in mix.processes}
+    snapshot = snapshot_mix(mix, clock)
+    fast, fast_problem = reconfigure_epoch(snapshot, config)
+    with scalar_reference():
+        slow, slow_problem = reconfigure_epoch(snapshot, config)
+    assert fast.solution.vc_sizes == slow.solution.vc_sizes
+    assert fast.solution.vc_allocation == slow.solution.vc_allocation
+    assert fast.solution.thread_cores == slow.solution.thread_cores
+    assert [v.vc_id for v in fast_problem.vcs] == [
+        v.vc_id for v in slow_problem.vcs
+    ]
+
+
+def test_phase_study_point_identical_through_both_paths():
+    from repro.experiments.phase_study import phase_point
+
+    config = small_test_config(4, 4)
+    kwargs = dict(config=config, n_apps=4, seed=42, mix_id=2,
+                  period=1e8, horizon=8e8)
+    fast = phase_point(**kwargs)
+    with scalar_reference():
+        slow = phase_point(**kwargs)
+    assert fast == slow
+    assert fast["phase_changes"] >= 1  # the point exercised dynamics
+
+
+def test_scalability_point_identical_through_both_paths():
+    from repro.experiments.scalability import scalability_point
+
+    kwargs = dict(tiles=16, seed=42, mix_id=0)
+    fast = scalability_point(**kwargs)
+    with scalar_reference():
+        slow = scalability_point(**kwargs)
+    # Wall-clock solve times are measurement, not simulation: everything
+    # else must be identical.
+    for key in fast:
+        if key.startswith("solve_seconds"):
+            continue
+        assert fast[key] == slow[key], key
+
+
+def test_phased_snapshot_curves_identical_between_paths():
+    from repro.workloads.mixes import random_phased_mix, snapshot_mix
+
+    mix = random_phased_mix(3, 7, 2)
+    clock = {p.process_id: 3.3e8 for p in mix.processes}
+    fast = snapshot_mix(mix, clock)
+    with scalar_reference():
+        slow = snapshot_mix(mix, clock)
+    for f, s in zip(fast.processes, slow.processes):
+        assert f.profile.name == s.profile.name
+        assert f.profile.private_curve.sizes.tolist() == \
+            s.profile.private_curve.sizes.tolist()
+        assert f.profile.private_curve.values.tolist() == \
+            s.profile.private_curve.values.tolist()

@@ -19,7 +19,7 @@ from repro.sched.thread_placement import (
     random_thread_placement,
 )
 from repro.sched.vc_placement import place_optimistic
-from repro.util.units import kb, mb
+from repro.util.units import mb
 from repro.workloads.mixes import make_mix
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import small_test_config
-from repro.nuca import Cdcs, Jigsaw, build_problem
+from repro.nuca import Jigsaw, build_problem
 from repro.sched.reconfigure import ReconfigPolicy, reconfigure
 from repro.sim import (
     BackgroundInvalidations,

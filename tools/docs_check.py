@@ -71,7 +71,7 @@ def check_cli_commands(text: str, origin: str, problems: list[str]) -> None:
 
     experiments = set(cli.COMMANDS) | {"list"}
     known_flags = {"--mixes", "--seed", "--jobs", "--cache-dir", "--no-cache",
-                   "--help"}
+                   "--tiles", "--help"}
     for line in text.splitlines():
         line = line.strip()
         m = re.search(r"python -m repro\b(.*)", line)
@@ -170,7 +170,7 @@ def verify_flag_list() -> list[str]:
     probe = [
         ["list"],
         ["list", "--mixes", "1", "--seed", "1", "--jobs", "1",
-         "--cache-dir", "x", "--no-cache"],
+         "--cache-dir", "x", "--no-cache", "--tiles", "16,64"],
     ]
     problems = []
     for argv in probe:
