@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast lint bench-smoke bench bench-kernels docs-check check clean
+.PHONY: test test-fast lint bench-smoke run-smoke bench bench-kernels docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -39,6 +39,11 @@ bench-smoke:
 	    --cache-dir .repro-smoke-cache
 	$(PYPATH) REPRO_JOBS=$(JOBS) $(PY) -m pytest \
 	    benchmarks/bench_fig14_four_apps.py benchmarks/bench_gmon_vs_umon.py -q
+
+## One registry-driven CLI invocation with structured output: proves the
+## `run <name> --format json` path end to end in seconds (CI fast job).
+run-smoke:
+	$(PYPATH) $(PY) -m repro run table1 --format json --no-cache
 
 ## The full paper-figure benchmark suite (slow; honest timings, no cache).
 bench:

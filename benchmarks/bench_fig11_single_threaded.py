@@ -14,6 +14,7 @@ Panels and paper numbers to reproduce in *shape*:
 from conftest import emit
 
 from repro.config import default_config
+from repro.nuca import SCHEMES
 from repro.experiments import format_breakdown, format_table, run_sweep
 
 N_MIXES = 50
@@ -26,7 +27,7 @@ def run(runner=None):
 
 def test_fig11_panels(once, runner):
     sweep = once(run, runner)
-    schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
+    schemes = list(SCHEMES)
     rows = [
         (s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in schemes
     ]

@@ -8,6 +8,7 @@ Paper shape: CDCS maintains high weighted speedups across the whole range
 from conftest import emit
 
 from repro.config import default_config
+from repro.nuca import SCHEMES
 from repro.experiments import format_table, run_sweep
 
 OCCUPANCIES = (1, 2, 4, 8, 16, 32, 64)
@@ -25,7 +26,7 @@ def run(runner=None):
 
 def test_fig13_undercommitted(once, runner):
     sweeps = once(run, runner)
-    schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
+    schemes = list(SCHEMES)
     rows = []
     for n_apps, sweep in sweeps.items():
         rows.append(

@@ -8,6 +8,7 @@ CDCS (21%) still leads by adapting per process; R-NUCA 9%.
 from conftest import emit
 
 from repro.config import default_config
+from repro.nuca import SCHEMES
 from repro.experiments import format_breakdown, format_table, run_sweep
 
 N_MIXES = 30
@@ -22,7 +23,7 @@ def run(runner=None):
 
 def test_fig15_multithreaded(once, runner):
     sweep = once(run, runner)
-    schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
+    schemes = list(SCHEMES)
     rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in schemes]
     emit(format_table(
         ["Scheme", "gmean WS", "max WS"], rows,

@@ -9,6 +9,7 @@ the chip and tightly clusters the shared-heavy processes.
 from conftest import emit
 
 from repro.config import default_config
+from repro.nuca import SCHEMES
 from repro.experiments import evaluate_mix, format_table, run_sweep
 from repro.experiments.sweeps import SweepResult
 from repro.model import AnalyticSystem
@@ -36,7 +37,7 @@ def run_case_study_fig16b():
 
 def test_fig16a_undercommitted_mt(once, runner):
     sweep = once(run_sweep_fig16, runner)
-    schemes = ["R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]
+    schemes = list(SCHEMES)
     rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in schemes]
     emit(format_table(
         ["Scheme", "gmean WS", "max WS"], rows,

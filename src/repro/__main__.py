@@ -2,199 +2,103 @@
 
 Usage::
 
-    python -m repro table1                 # the 36-tile case study
-    python -m repro fig13 --mixes 8        # occupancy sweep
+    python -m repro list                   # the experiment registry
+    python -m repro list --json            # ... machine-readable
+    python -m repro run fig11 --param mixes=8    # generic registry form
+    python -m repro fig11 --mixes 8        # per-experiment subcommand
     python -m repro fig11 --jobs 4         # fan mixes out over 4 workers
-    python -m repro fig11 --cache-dir .repro-cache   # memoize job results
-    python -m repro fig17 --no-cache       # force recomputation
-    python -m repro table3                 # reconfiguration runtime
-    python -m repro phase_study --mixes 2  # phased workloads vs period
+    python -m repro run table1 --format json     # structured export
+    python -m repro run fig14 --format csv --out fig14.csv
     python -m repro scalability --tiles 16,64,144,256   # mesh-size sweep
-    python -m repro list                   # all available experiments
 
-Sweep-shaped experiments submit one job per point through
-``repro.runner.ProcessPoolRunner``: ``--jobs N`` parallelizes across N
-worker processes (results are bitwise identical to ``--jobs 1``), and the
-content-hashed result cache under ``--cache-dir`` makes reruns only execute
-changed points.  A progress line on stderr reports jobs done/total and
-cache hits.
+Every experiment is a registered
+:class:`~repro.experiments.spec.ExperimentSpec`; the CLI is generated
+from the registry, so ``run <name>`` and the per-experiment subcommands
+are two spellings of the same path (``--param k=v`` and ``--<k> v`` both
+feed the spec's typed parameter schema).  All experiments uniformly
+support ``--jobs/--cache-dir/--no-cache/--seed`` plus structured output
+via ``--format table|json|csv`` and ``--out FILE``.
+
+Execution goes through :class:`repro.api.Session`: one job per
+experiment point, fanned over ``--jobs N`` worker processes (results are
+bitwise identical to ``--jobs 1``) and memoized in the content-hashed
+result cache under ``--cache-dir``.  A progress line on stderr reports
+jobs done/total and cache hits.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.config import default_config
-from repro.experiments import (
-    format_series,
-    format_table,
-    reconfig_trace_jobs,
-    run_case_study,
-    run_factor_analysis,
-    run_monitor_comparison,
-    run_phase_study,
-    run_scalability,
-    run_sweep,
-    run_table3,
-)
-from repro.experiments.scalability import TILE_POINTS, mesh_width
-from repro.runner import ProcessPoolRunner, ResultStore, run_jobs
-from repro.util.units import mb
-from repro.workloads import get_profile
-
-SCHEMES = ("R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
-
-#: Default location of the content-hashed result cache.
-DEFAULT_CACHE_DIR = ".repro-cache"
+from repro.api import Session
+from repro.experiments.results import FORMATS, RunRecord, render
+from repro.experiments.spec import all_specs, get_spec, spec_names
+from repro.nuca import SCHEMES  # noqa: F401  (re-export for compatibility)
+from repro.runner import DEFAULT_CACHE_DIR, ProcessPoolRunner, ResultStore
 
 
-def cmd_table1(args) -> None:
-    result = run_case_study()
-    print(format_table(
-        ["Scheme", "omnet", "ilbdc", "milc", "WS"], result.table1(),
-        title="Table 1: case-study speedups over S-NUCA",
-    ))
-
-
-def cmd_sweep(args, n_apps: int, multithreaded: bool = False) -> None:
-    sweep = run_sweep(
-        default_config(), n_apps=n_apps, n_mixes=args.mixes, seed=args.seed,
-        multithreaded=multithreaded, runner=args.runner,
+def build_parser() -> argparse.ArgumentParser:
+    """The registry-generated CLI grammar (also probed by docs-check)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from the CDCS reproduction.",
     )
-    rows = [(s, sweep.gmean_speedup(s), sweep.max_speedup(s)) for s in SCHEMES]
-    kind = "8-thread" if multithreaded else "single-threaded"
-    print(format_table(
-        ["Scheme", "gmean WS", "max WS"], rows,
-        title=f"{args.mixes} mixes of {n_apps} {kind} apps",
-    ))
-
-
-def cmd_fig12(args) -> None:
-    for n_apps in (64, 4):
-        result = run_factor_analysis(
-            default_config(), n_apps=n_apps, n_mixes=args.mixes,
-            seed=args.seed, runner=args.runner,
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep jobs (default 1; "
+                             "results are identical at any N)")
+    common.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="directory of the content-hashed result cache "
+                             f"(default {DEFAULT_CACHE_DIR!r})")
+    common.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache: recompute and do "
+                             "not persist any job output")
+    common.add_argument("--seed", type=int, default=None,
+                        help="override the experiment's default RNG seed")
+    common.add_argument("--format", choices=FORMATS, default="table",
+                        dest="format",
+                        help="output format (default table)")
+    common.add_argument("--out", default=None, metavar="FILE",
+                        help="write the rendered output to FILE instead "
+                             "of stdout")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    p_list = sub.add_parser(
+        "list", parents=[common],
+        help="show the experiment registry",
+    )
+    p_list.add_argument("--json", action="store_true",
+                        help="emit the registry as JSON")
+    p_run = sub.add_parser(
+        "run", parents=[common],
+        help="run any registered experiment by name",
+    )
+    p_run.add_argument("name", choices=spec_names(),
+                       help="registered experiment name")
+    p_run.add_argument("--param", action="append", default=[],
+                       metavar="K=V",
+                       help="override one experiment parameter "
+                            "(repeatable)")
+    for spec in all_specs():
+        p_exp = sub.add_parser(
+            spec.name, parents=[common],
+            help=f"{spec.figure}: {spec.summary}",
         )
-        print(format_table(
-            ["Variant", "gmean WS"], list(result.gmeans().items()),
-            title=f"Fig 12 factor analysis at {n_apps} apps",
-        ))
-
-
-def cmd_fig13(args) -> None:
-    rows = []
-    for n_apps in (1, 2, 4, 8, 16, 32, 64):
-        sweep = run_sweep(default_config(), n_apps=n_apps,
-                          n_mixes=args.mixes, seed=args.seed,
-                          runner=args.runner)
-        rows.append((f"{n_apps}", *(sweep.gmean_speedup(s) for s in SCHEMES)))
-    print(format_table(["apps"] + list(SCHEMES), rows,
-                       title="Fig 13: gmean WS vs occupancy"))
-
-
-def cmd_fig17(args) -> None:
-    jobs = reconfig_trace_jobs(capacity_scale=16, seed=args.seed)
-    for trace in run_jobs(jobs, args.runner):
-        print(format_series(
-            f"{trace.protocol} (Mcycle, IPC)",
-            [(t / 1e6, v) for t, v in
-             trace.trace[:: max(len(trace.trace) // 15, 1)]],
-            fmt="{:.2f}",
-        ))
-
-
-def cmd_table3(args) -> None:
-    rows = run_table3(seed=args.seed, repeats=3)
-    print(format_table(
-        ["thr/cores", "total Mcycles", "overhead@25ms"],
-        [(f"{r.threads}/{r.cores}", r.total_mcycles,
-          f"{r.overhead_percent():.3f}%") for r in rows],
-        title="Table 3: reconfiguration runtime",
-    ))
-
-
-def cmd_phase_study(args) -> None:
-    study = run_phase_study(n_mixes=args.mixes, seed=args.seed,
-                            runner=args.runner)
-    rows = [
-        (f"{period / 1e6:g}M",
-         study.mean_gain(period),
-         study.mean_phase_changes(period))
-        for period in study.periods()
-    ]
-    print(format_table(
-        ["period (cycles)", "adaptive/stale IPC", "phase changes"], rows,
-        title=f"Phase study: reconfiguration period vs phase length "
-              f"({args.mixes} phased mixes)",
-    ))
-    period = study.periods()[0]
-    trace = study.trace(period, mix_id=0)
-    print(format_series(
-        f"mix 0 epoch IPC at {period / 1e6:g}M period (Mcycle, IPC)",
-        [(t / 1e6, v) for t, v in trace[:: max(len(trace) // 15, 1)]],
-        fmt="{:.2f}",
-    ))
-
-
-def cmd_scalability(args) -> None:
-    result = run_scalability(tiles=args.tiles, n_mixes=args.mixes,
-                             seed=args.seed, runner=args.runner)
-    print(format_table(
-        ["tiles", "apps", "IPC", "IPC/tile", "hops", "runtime Mcyc",
-         "solve ms"],
-        result.table_rows(),
-        title=f"Scalability: mesh-size sweep at fixed per-tile load "
-              f"({args.mixes} mixes/point)",
-    ))
-
-
-def cmd_gmon(args) -> None:
-    for acc in run_monitor_comparison(get_profile("astar"), mb(32),
-                                      runner=args.runner):
-        print(f"{acc.monitor_kind}-{acc.ways}: "
-              f"MAE={acc.mean_abs_error:.3f} "
-              f"small-size MAE={acc.small_size_error:.3f}")
-
-
-COMMANDS = {
-    "table1": cmd_table1,
-    "fig11": lambda a: cmd_sweep(a, 64),
-    "fig12": cmd_fig12,
-    "fig13": cmd_fig13,
-    "fig14": lambda a: cmd_sweep(a, 4),
-    "fig15": lambda a: cmd_sweep(a, 8, multithreaded=True),
-    "fig16": lambda a: cmd_sweep(a, 4, multithreaded=True),
-    "fig17": cmd_fig17,
-    "table3": cmd_table3,
-    "gmon": cmd_gmon,
-    "phase_study": cmd_phase_study,
-    "scalability": cmd_scalability,
-}
-
-
-def parse_tiles(text: str) -> tuple[int, ...]:
-    """argparse type for ``--tiles``: comma-separated square tile counts."""
-    parts = [p.strip() for p in text.split(",") if p.strip()]
-    if not parts:
-        raise argparse.ArgumentTypeError(
-            "--tiles needs at least one tile count"
-        )
-    values = []
-    for part in parts:
-        try:
-            count = int(part)
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"--tiles expects comma-separated integers, got {part!r}"
-            ) from None
-        try:
-            mesh_width(count)
-        except ValueError as exc:
-            raise argparse.ArgumentTypeError(str(exc)) from None
-        values.append(count)
-    return tuple(values)
+        for param in spec.params:
+            if param.name == "seed":
+                continue  # the common --seed flag covers it
+            p_exp.add_argument(
+                f"--{param.name.replace('_', '-')}",
+                dest=param.name,
+                type=param.parser,
+                default=param.default,
+                help=f"{param.help} (default {param.default!r})",
+            )
+    return parser
 
 
 def _progress_printer(stream=None):
@@ -218,36 +122,78 @@ def build_runner(
     no_cache: bool = False,
     quiet: bool = False,
 ) -> ProcessPoolRunner:
-    """Construct the runner the CLI (and tests) hand to experiments."""
+    """Construct a runner the way the CLI does (kept for tests/tools)."""
     store = None if (no_cache or cache_dir is None) else ResultStore(cache_dir)
     progress = None if quiet else _progress_printer()
     return ProcessPoolRunner(jobs=jobs, store=store, progress=progress)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate experiments from the CDCS reproduction.",
+def _build_session(args) -> Session:
+    cache_dir = None if (args.no_cache or not args.cache_dir) \
+        else args.cache_dir
+    return Session(
+        jobs=args.jobs, cache_dir=cache_dir, progress=_progress_printer()
     )
-    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list"])
-    parser.add_argument("--mixes", type=int, default=10,
-                        help="random mixes per data point (default 10)")
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for sweep jobs (default 1; "
-                             "results are identical at any N)")
-    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                        metavar="DIR",
-                        help="directory of the content-hashed result cache "
-                             f"(default {DEFAULT_CACHE_DIR!r})")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the result cache: recompute and do "
-                             "not persist any job output")
-    parser.add_argument("--tiles", type=parse_tiles, default=TILE_POINTS,
-                        metavar="N,N,...",
-                        help="mesh sizes for the scalability sweep, as "
-                             "comma-separated square tile counts "
-                             "(default 16,64,144,256)")
+
+
+def _collect_overrides(parser, args) -> dict:
+    """Experiment parameter overrides from either CLI spelling."""
+    overrides: dict = {}
+    if args.command == "run":
+        for item in args.param:
+            if "=" not in item:
+                parser.error(f"--param expects K=V, got {item!r}")
+            key, value = item.split("=", 1)
+            overrides[key] = value
+    else:
+        spec = get_spec(args.command)
+        for param in spec.params:
+            if param.name != "seed":
+                overrides[param.name] = getattr(args, param.name)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return overrides
+
+
+def _emit(record: RunRecord, fmt: str, out: str | None) -> None:
+    _write_or_print(render(record, fmt), out, f"{fmt} output")
+
+
+def _write_or_print(text: str, out: str | None, what: str) -> None:
+    if out is None:
+        print(text)
+    else:
+        Path(out).write_text(text + "\n")
+        print(f"[repro] wrote {what} to {out}", file=sys.stderr)
+
+
+def _cmd_list(parser, args) -> int:
+    specs = all_specs()
+    # `list --format json` and `list --json` are the same spelling; csv
+    # has no sensible listing shape.
+    if args.format == "csv":
+        parser.error("list supports --format table or json, not csv")
+    if args.json or args.format == "json":
+        text = json.dumps([spec.describe() for spec in specs], indent=2)
+        _write_or_print(text, args.out, "registry json")
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    lines = ["available experiments:"]
+    for spec in specs:
+        params = ", ".join(
+            f"{p.name}={p.default!r}" for p in spec.params
+        )
+        lines.append(f"  {spec.name:<{width}}  {spec.figure}: "
+                     f"{spec.summary} [{params}]")
+    lines.append("")
+    lines.append("run one with: python -m repro run <name> "
+                 "[--param k=v ...]")
+    _write_or_print("\n".join(lines), args.out, "registry listing")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -258,14 +204,24 @@ def main(argv: list[str] | None = None) -> int:
                 f"--cache-dir {args.cache_dir!r} exists and is not a "
                 f"directory"
             )
-    if args.experiment == "list":
-        print("available experiments:", ", ".join(sorted(COMMANDS)))
-        return 0
-    args.runner = build_runner(
-        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
-    )
-    COMMANDS[args.experiment](args)
-    stats = args.runner.stats
+    if args.command == "list":
+        return _cmd_list(parser, args)
+    name = args.name if args.command == "run" else args.command
+    overrides = _collect_overrides(parser, args)
+    spec = get_spec(name)
+    # Validate parameters (and parameter-dependent job construction, e.g.
+    # a profile-name lookup) up front, so bad input is a usage error —
+    # while genuine runtime failures inside jobs still surface as
+    # tracebacks rather than being miscast as CLI mistakes.
+    try:
+        params = spec.resolve(overrides)
+        spec.build_jobs(params)
+    except (ValueError, KeyError, argparse.ArgumentTypeError) as exc:
+        parser.error(str(exc))
+    session = _build_session(args)
+    record = session.run(name, **params)
+    _emit(record, args.format, args.out)
+    stats = session.stats
     if stats.submitted:
         print(f"[repro] total: {stats.summary()}", file=sys.stderr)
     return 0

@@ -1,12 +1,35 @@
 """Per-experiment harnesses: one module per paper table/figure (see the
-figure index in docs/REPRODUCING.md).
+experiment registry index in docs/REPRODUCING.md).
 
-Sweep-shaped experiments expose both a ``run_*`` entry point (taking an
-optional ``runner=``) and a ``*_jobs`` builder returning the raw
-:class:`repro.runner.Job` list, so callers can compose fan-outs across
-experiments before handing them to one runner.
+Every experiment module registers an :class:`~repro.experiments.spec.ExperimentSpec`
+into the process-wide registry (:mod:`repro.experiments.spec`) at import
+time — importing this package populates it.  The registry drives the CLI
+(``python -m repro run <name>``), :class:`repro.api.Session`, and the
+docs cross-checks; specs produce typed, serializable
+:class:`~repro.experiments.results.RunRecord` results.
+
+The legacy ``run_*`` entry points (taking an optional ``runner=``) and
+``*_jobs`` builders remain as compatibility shims over the same job
+builders and reducers, so callers can still compose fan-outs across
+experiments by hand before handing them to one runner — or use
+:meth:`repro.api.Session.run_batch`, which does exactly that.
 """
 
+from repro.experiments.results import (
+    FORMATS,
+    ResultSeries,
+    ResultTable,
+    RunRecord,
+    render,
+)
+from repro.experiments.spec import (
+    ExperimentSpec,
+    Param,
+    all_specs,
+    get_spec,
+    register,
+    spec_names,
+)
 from repro.experiments.case_study import (
     CaseStudyResult,
     render_chip_map,
@@ -51,6 +74,7 @@ from repro.experiments.reconfig_study import (
     PeriodSweepResult,
     ReconfigTrace,
     default_trace_mix,
+    period_sweep_from_traces,
     reconfig_trace_jobs,
     reconfiguration_penalty_cycles,
     run_period_sweep,
@@ -62,6 +86,7 @@ from repro.experiments.sweeps import (
     evaluate_mix,
     merge_mix_record,
     mix_record,
+    reduce_sweep_records,
     run_sweep,
     sweep_jobs,
 )
@@ -73,6 +98,8 @@ from repro.experiments.table3 import (
 
 __all__ = [
     "CaseStudyResult",
+    "ExperimentSpec",
+    "FORMATS",
     "FactorResult",
     "GEOMETRIES",
     "MonitorAccuracy",
@@ -80,15 +107,20 @@ __all__ = [
     "PERIODS",
     "PLACERS",
     "PROTOCOLS",
+    "Param",
     "PeriodSweepResult",
     "PhaseStudyResult",
     "PlacerOutcome",
     "ReconfigTrace",
+    "ResultSeries",
+    "ResultTable",
+    "RunRecord",
     "RuntimeRow",
     "ScalabilityResult",
     "SweepResult",
     "TILE_POINTS",
     "VARIANTS",
+    "all_specs",
     "curve_error",
     "default_trace_mix",
     "evaluate_mix",
@@ -96,15 +128,20 @@ __all__ = [
     "format_breakdown",
     "format_series",
     "format_table",
+    "get_spec",
     "merge_mix_record",
     "mix_record",
     "monitor_jobs",
     "monitored_curve",
+    "period_sweep_from_traces",
     "phase_point",
     "phase_study_jobs",
     "placer_jobs",
     "reconfig_trace_jobs",
     "reconfiguration_penalty_cycles",
+    "reduce_sweep_records",
+    "register",
+    "render",
     "render_chip_map",
     "run_case_study",
     "run_factor_analysis",
@@ -118,5 +155,6 @@ __all__ = [
     "run_table3",
     "scalability_jobs",
     "scalability_point",
+    "spec_names",
     "sweep_jobs",
 ]

@@ -10,10 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, case_study_config
+from repro.experiments.results import ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.model.metrics import per_app_speedups, weighted_speedup
 from repro.model.system import AnalyticSystem, MixEvaluation
-from repro.nuca import standard_schemes
+from repro.nuca import SCHEMES, standard_schemes
 from repro.nuca.base import build_problem
+from repro.runner import Job
 from repro.sched.problem import PlacementSolution
 from repro.workloads.mixes import Mix, case_study_mix
 
@@ -32,7 +35,7 @@ class CaseStudyResult:
     def table1(self) -> list[tuple[str, float, float, float, float]]:
         """Rows in Table 1's layout: scheme, omnet, ilbdc, milc, WS."""
         rows = []
-        for scheme in ("R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"):
+        for scheme in SCHEMES:
             apps = self.app_speedups[scheme]
             rows.append(
                 (
@@ -128,3 +131,40 @@ def render_chip_map(
             row.append(f"{thread:>3}/{data:<3}")
         lines.append(" ".join(row))
     return "\n".join(lines)
+
+
+# -- spec registry -----------------------------------------------------------
+
+
+def _case_study_rows(seed: int) -> list[tuple[str, float, float, float, float]]:
+    """Job body: Table 1's rows as a plain, picklable payload."""
+    return run_case_study(seed=seed).table1()
+
+
+def _table1_jobs(params: dict) -> list[Job]:
+    return [Job(fn=_case_study_rows, kwargs=dict(seed=params["seed"]),
+                seed=params["seed"], label="table1-case-study")]
+
+
+def _table1_reduce(records: list, params: dict) -> list[tuple]:
+    return records[0]
+
+
+def _table1_present(result: list[tuple], params: dict) -> RunRecord:
+    table = ResultTable.make(
+        title="Table 1: case-study speedups over S-NUCA",
+        headers=("Scheme", "omnet", "ilbdc", "milc", "WS"),
+        rows=result,
+    )
+    return RunRecord(experiment="table1", params=params, tables=(table,))
+
+
+register(ExperimentSpec(
+    name="table1",
+    summary="the 36-tile Sec II-B case study (omnet + milc + ilbdc)",
+    figure="Table 1",
+    params=(Param("seed", "int", 1, "scheme RNG seed"),),
+    build_jobs=_table1_jobs,
+    reduce=_table1_reduce,
+    present=_table1_present,
+))

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import SystemConfig
+from repro.config import SystemConfig, default_config
+from repro.experiments.results import ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.experiments.sweeps import (
     SweepResult,
     evaluate_mix,
-    merge_mix_record,
     mix_record,
+    reduce_sweep_records,
 )
 from repro.model.system import AnalyticSystem
 from repro.nuca.cdcs import factor_variant
@@ -90,12 +92,11 @@ def run_factor_analysis(
     system: AnalyticSystem | None = None,
     runner: ProcessPoolRunner | None = None,
 ) -> FactorResult:
-    result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
     if system is None:
         jobs = factor_jobs(config, n_apps, n_mixes, seed)
-        for record in run_jobs(jobs, runner):
-            merge_mix_record(result, record)
-        return FactorResult(n_apps=n_apps, sweep=result)
+        sweep = reduce_sweep_records(run_jobs(jobs, runner), n_apps, n_mixes)
+        return FactorResult(n_apps=n_apps, sweep=sweep)
+    result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
     for mix_id in range(n_mixes):
         mix = random_single_threaded_mix(n_apps, seed, mix_id)
         schemes = []
@@ -106,3 +107,56 @@ def run_factor_analysis(
         evaluate_mix(config, mix, result, seed=mix_id, schemes=schemes,
                      system=system)
     return FactorResult(n_apps=n_apps, sweep=result)
+
+
+# -- spec registry -----------------------------------------------------------
+
+#: Chip occupancies the Fig 12 ladder runs at (capacity-scarce, -plentiful).
+FIG12_APP_COUNTS = (64, 4)
+
+
+def _fig12_jobs(params: dict) -> list[Job]:
+    jobs: list[Job] = []
+    for n_apps in FIG12_APP_COUNTS:
+        jobs += factor_jobs(
+            default_config(), n_apps, params["mixes"], params["seed"]
+        )
+    return jobs
+
+
+def _fig12_reduce(records: list, params: dict) -> dict[int, FactorResult]:
+    n_mixes = params["mixes"]
+    out: dict[int, FactorResult] = {}
+    for i, n_apps in enumerate(FIG12_APP_COUNTS):
+        chunk = records[i * n_mixes:(i + 1) * n_mixes]
+        out[n_apps] = FactorResult(
+            n_apps=n_apps,
+            sweep=reduce_sweep_records(chunk, n_apps, n_mixes),
+        )
+    return out
+
+
+def _fig12_present(result: dict[int, FactorResult], params: dict) -> RunRecord:
+    tables = tuple(
+        ResultTable.make(
+            title=f"Fig 12 factor analysis at {n_apps} apps",
+            headers=("Variant", "gmean WS"),
+            rows=list(result[n_apps].gmeans().items()),
+        )
+        for n_apps in FIG12_APP_COUNTS
+    )
+    return RunRecord(experiment="fig12", params=params, tables=tables)
+
+
+register(ExperimentSpec(
+    name="fig12",
+    summary="factor analysis of CDCS's techniques (+L/+T/+D ladder)",
+    figure="Fig 12",
+    params=(
+        Param("mixes", "int", 10, "random mixes per app count"),
+        Param("seed", "int", 42, "base RNG seed"),
+    ),
+    build_jobs=_fig12_jobs,
+    reduce=_fig12_reduce,
+    present=_fig12_present,
+))

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.cache.miss_curve import MissCurve
 from repro.cache.monitor import GMon, UMon
+from repro.experiments.results import ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.workloads.generator import StackDistanceStream
 from repro.workloads.profiles import AppProfile
@@ -135,3 +137,49 @@ def run_monitor_comparison(
     """Compare monitor geometries on one app's (scaled) stream."""
     jobs = monitor_jobs(profile, llc_bytes, accesses, footprint_scale, seed)
     return run_jobs(jobs, runner)
+
+
+# -- spec registry -----------------------------------------------------------
+
+
+def _gmon_jobs(params: dict) -> list[Job]:
+    from repro.util.units import mb
+    from repro.workloads.profiles import get_profile
+
+    return monitor_jobs(
+        get_profile(params["app"]), mb(params["llc_mb"]),
+        seed=params["seed"],
+    )
+
+
+def _gmon_reduce(records: list, params: dict) -> list[MonitorAccuracy]:
+    return records
+
+
+def _gmon_present(result: list[MonitorAccuracy], params: dict) -> RunRecord:
+    table = ResultTable.make(
+        title=f"GMON vs UMON curve accuracy ({params['app']}, "
+              f"{params['llc_mb']} MB LLC)",
+        headers=("monitor", "MAE", "small-size MAE"),
+        rows=[
+            (f"{acc.monitor_kind}-{acc.ways}", acc.mean_abs_error,
+             acc.small_size_error)
+            for acc in result
+        ],
+    )
+    return RunRecord(experiment="gmon", params=params, tables=(table,))
+
+
+register(ExperimentSpec(
+    name="gmon",
+    summary="GMON vs UMON monitor-geometry accuracy",
+    figure="Sec IV-G/VI-C",
+    params=(
+        Param("app", "str", "astar", "profile whose stream is monitored"),
+        Param("llc_mb", "int", 32, "LLC capacity in MB"),
+        Param("seed", "int", 3, "address-stream RNG seed"),
+    ),
+    build_jobs=_gmon_jobs,
+    reduce=_gmon_reduce,
+    present=_gmon_present,
+))

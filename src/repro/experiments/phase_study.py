@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, small_test_config
+from repro.experiments.results import ResultSeries, ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.nuca.base import build_problem
 from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.sched.reconfigure import ReconfigPolicy, reconfigure
@@ -181,7 +183,65 @@ def run_phase_study(
         config, n_mixes=n_mixes, seed=seed, n_apps=n_apps,
         periods=periods, horizon=horizon,
     )
-    records: dict[float, list[dict]] = {}
-    for record in run_jobs(jobs, runner):
-        records.setdefault(record["period"], []).append(record)
-    return PhaseStudyResult(records)
+    return reduce_phase_records(run_jobs(jobs, runner))
+
+
+def reduce_phase_records(records: list[dict]) -> PhaseStudyResult:
+    """Group per-(mix, period) job payloads by period — the reducer
+    behind both the ``phase_study`` spec and :func:`run_phase_study`."""
+    grouped: dict[float, list[dict]] = {}
+    for record in records:
+        grouped.setdefault(record["period"], []).append(record)
+    return PhaseStudyResult(grouped)
+
+
+# -- spec registry -----------------------------------------------------------
+
+
+def _phase_jobs(params: dict) -> list[Job]:
+    return phase_study_jobs(
+        small_test_config(4, 4), n_mixes=params["mixes"],
+        seed=params["seed"],
+    )
+
+
+def _phase_reduce(records: list, params: dict) -> PhaseStudyResult:
+    return reduce_phase_records(records)
+
+
+def _phase_present(result: PhaseStudyResult, params: dict) -> RunRecord:
+    table = ResultTable.make(
+        title=f"Phase study: reconfiguration period vs phase length "
+              f"({params['mixes']} phased mixes)",
+        headers=("period (cycles)", "adaptive/stale IPC", "phase changes"),
+        rows=[
+            (f"{period / 1e6:g}M", result.mean_gain(period),
+             result.mean_phase_changes(period))
+            for period in result.periods()
+        ],
+    )
+    period = result.periods()[0]
+    trace = result.trace(period, mix_id=0)
+    series = ResultSeries.make(
+        f"mix 0 epoch IPC at {period / 1e6:g}M period (Mcycle, IPC)",
+        [(t / 1e6, v) for t, v in trace[:: max(len(trace) // 15, 1)]],
+        fmt="{:.2f}",
+    )
+    return RunRecord(
+        experiment="phase_study", params=params,
+        tables=(table,), series=(series,),
+    )
+
+
+register(ExperimentSpec(
+    name="phase_study",
+    summary="adaptive vs frozen placement over phased workloads",
+    figure="beyond paper",
+    params=(
+        Param("mixes", "int", 10, "phased mixes per period"),
+        Param("seed", "int", 42, "mix RNG seed"),
+    ),
+    build_jobs=_phase_jobs,
+    reduce=_phase_reduce,
+    present=_phase_present,
+))

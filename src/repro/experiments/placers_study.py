@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass
 
 from repro.config import SystemConfig
+from repro.experiments.results import ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.model.metrics import weighted_speedup
 from repro.model.system import AnalyticSystem
 from repro.nuca.base import SchemeResult, build_problem
@@ -159,3 +161,49 @@ def run_placer_comparison(
     """Evaluate CDCS vs LP / annealing / graph partitioning on one mix."""
     jobs = placer_jobs(config, n_apps, seed, mix_id, anneal_rounds)
     return run_jobs(jobs, runner)
+
+
+# -- spec registry -----------------------------------------------------------
+
+
+def _placers_jobs(params: dict) -> list[Job]:
+    from repro.config import default_config
+
+    return placer_jobs(
+        default_config(), n_apps=params["apps"], seed=params["seed"],
+        anneal_rounds=params["anneal_rounds"],
+    )
+
+
+def _placers_reduce(records: list, params: dict) -> list[PlacerOutcome]:
+    return records
+
+
+def _placers_present(
+    result: list[PlacerOutcome], params: dict
+) -> RunRecord:
+    table = ResultTable.make(
+        title=f"Placer comparators on one {params['apps']}-app mix "
+              f"(Sec VI-C)",
+        headers=("Placer", "WS", "on-chip cost", "wall s"),
+        rows=[
+            (o.name, o.weighted_speedup, o.onchip_cost, o.wall_seconds)
+            for o in result
+        ],
+    )
+    return RunRecord(experiment="placers", params=params, tables=(table,))
+
+
+register(ExperimentSpec(
+    name="placers",
+    summary="CDCS vs LP / annealing / graph-partitioning comparators",
+    figure="Sec VI-C",
+    params=(
+        Param("apps", "int", 16, "apps in the evaluated mix"),
+        Param("anneal_rounds", "int", 5000, "simulated-annealing rounds"),
+        Param("seed", "int", 42, "mix RNG seed"),
+    ),
+    build_jobs=_placers_jobs,
+    reduce=_placers_reduce,
+    present=_placers_present,
+))

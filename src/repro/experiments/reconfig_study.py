@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, small_test_config
+from repro.experiments.results import ResultSeries, ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.nuca.base import build_problem
 from repro.nuca.jigsaw import Jigsaw
 from repro.sched.reconfigure import ReconfigPolicy, reconfigure
@@ -190,6 +192,19 @@ def run_period_sweep(
         config=config, mix=mix, capacity_scale=capacity_scale, seed=seed
     )
     traces = dict(zip(PROTOCOLS, run_jobs(jobs, runner)))
+    return period_sweep_from_traces(traces, steady_ws, periods)
+
+
+def period_sweep_from_traces(
+    traces: dict[str, ReconfigTrace],
+    steady_ws: float,
+    periods: tuple[int, ...] = (
+        10_000_000, 25_000_000, 50_000_000, 100_000_000
+    ),
+) -> PeriodSweepResult:
+    """Amortize measured per-reconfiguration penalties over *periods* —
+    the reducer behind both the ``fig18`` spec and
+    :func:`run_period_sweep`."""
     penalties = reconfiguration_penalty_cycles(traces)
     speedups: dict[int, dict[str, float]] = {}
     for period in periods:
@@ -198,3 +213,79 @@ def run_period_sweep(
             for name in PROTOCOLS
         }
     return PeriodSweepResult(speedups, penalties, steady_ws)
+
+
+# -- spec registry -----------------------------------------------------------
+
+
+def _trace_jobs(params: dict) -> list[Job]:
+    return reconfig_trace_jobs(capacity_scale=16, seed=params["seed"])
+
+
+def _traces_reduce(records: list, params: dict) -> dict[str, ReconfigTrace]:
+    return dict(zip(PROTOCOLS, records))
+
+
+def _trace_series(trace: ReconfigTrace) -> ResultSeries:
+    points = [
+        (t / 1e6, v)
+        for t, v in trace.trace[:: max(len(trace.trace) // 15, 1)]
+    ]
+    return ResultSeries.make(
+        f"{trace.protocol} (Mcycle, IPC)", points, fmt="{:.2f}"
+    )
+
+
+def _fig17_present(
+    result: dict[str, ReconfigTrace], params: dict
+) -> RunRecord:
+    return RunRecord(
+        experiment="fig17",
+        params=params,
+        series=tuple(_trace_series(result[name]) for name in PROTOCOLS),
+    )
+
+
+register(ExperimentSpec(
+    name="fig17",
+    summary="aggregate IPC through one reconfiguration, per protocol",
+    figure="Fig 17",
+    params=(Param("seed", "int", 42, "trace-simulation RNG seed"),),
+    build_jobs=_trace_jobs,
+    reduce=_traces_reduce,
+    present=_fig17_present,
+))
+
+
+def _fig18_reduce(records: list, params: dict) -> PeriodSweepResult:
+    return period_sweep_from_traces(
+        dict(zip(PROTOCOLS, records)), params["steady_ws"]
+    )
+
+
+def _fig18_present(result: PeriodSweepResult, params: dict) -> RunRecord:
+    table = ResultTable.make(
+        title=f"Fig 18: WS vs reconfiguration period "
+              f"(steady WS {result.steady_ws:g})",
+        headers=("period (Mcycles)", *PROTOCOLS),
+        rows=[
+            (f"{period / 1e6:g}", *(by_proto[p] for p in PROTOCOLS))
+            for period, by_proto in sorted(result.speedups.items())
+        ],
+    )
+    return RunRecord(experiment="fig18", params=params, tables=(table,))
+
+
+register(ExperimentSpec(
+    name="fig18",
+    summary="weighted speedup vs reconfiguration period, per protocol",
+    figure="Fig 18",
+    params=(
+        Param("steady_ws", "float", 1.46,
+              "steady-state CDCS WS with instant moves"),
+        Param("seed", "int", 42, "trace-simulation RNG seed"),
+    ),
+    build_jobs=_trace_jobs,
+    reduce=_fig18_reduce,
+    present=_fig18_present,
+))

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from dataclasses import replace as dc_replace
 
 from repro.config import SystemConfig, default_config
+from repro.experiments.results import ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.model.system import AnalyticSystem
 from repro.nuca.base import SchemeResult, build_problem
 from repro.runner import Job, ProcessPoolRunner, run_jobs
@@ -173,7 +175,85 @@ def run_scalability(
     jobs = scalability_jobs(
         tiles=tiles, n_mixes=n_mixes, seed=seed, occupancy=occupancy
     )
-    records: dict[int, list[dict]] = {}
-    for record in run_jobs(jobs, runner):
-        records.setdefault(record["tiles"], []).append(record)
-    return ScalabilityResult(records)
+    return reduce_scalability_records(run_jobs(jobs, runner))
+
+
+def reduce_scalability_records(records: list[dict]) -> ScalabilityResult:
+    """Group per-(tiles, mix) job payloads by mesh size — the reducer
+    behind both the ``scalability`` spec and :func:`run_scalability`."""
+    grouped: dict[int, list[dict]] = {}
+    for record in records:
+        grouped.setdefault(record["tiles"], []).append(record)
+    return ScalabilityResult(grouped)
+
+
+def parse_tiles(text: str) -> tuple[int, ...]:
+    """Parse comma-separated square tile counts (the CLI ``--tiles`` and
+    ``--param tiles=...`` grammar); raises ``argparse.ArgumentTypeError``
+    with a usable message on bad input."""
+    import argparse
+
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError(
+            "--tiles needs at least one tile count"
+        )
+    values = []
+    for part in parts:
+        try:
+            count = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--tiles expects comma-separated integers, got {part!r}"
+            ) from None
+        try:
+            mesh_width(count)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        values.append(count)
+    return tuple(values)
+
+
+# -- spec registry -----------------------------------------------------------
+
+
+def _scalability_jobs(params: dict) -> list[Job]:
+    return scalability_jobs(
+        tiles=tuple(params["tiles"]), n_mixes=params["mixes"],
+        seed=params["seed"],
+    )
+
+
+def _scalability_reduce(records: list, params: dict) -> ScalabilityResult:
+    return reduce_scalability_records(records)
+
+
+def _scalability_present(
+    result: ScalabilityResult, params: dict
+) -> RunRecord:
+    table = ResultTable.make(
+        title=f"Scalability: mesh-size sweep at fixed per-tile load "
+              f"({params['mixes']} mixes/point)",
+        headers=("tiles", "apps", "IPC", "IPC/tile", "hops",
+                 "runtime Mcyc", "solve ms"),
+        rows=result.table_rows(),
+    )
+    return RunRecord(
+        experiment="scalability", params=params, tables=(table,)
+    )
+
+
+register(ExperimentSpec(
+    name="scalability",
+    summary="16-256-tile mesh sweep at fixed per-tile load",
+    figure="beyond paper",
+    params=(
+        Param("tiles", "tiles", TILE_POINTS,
+              "comma-separated square tile counts"),
+        Param("mixes", "int", 10, "random mixes per mesh size"),
+        Param("seed", "int", 42, "mix RNG seed"),
+    ),
+    build_jobs=_scalability_jobs,
+    reduce=_scalability_reduce,
+    present=_scalability_present,
+))

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import SystemConfig
+from repro.config import SystemConfig, default_config
+from repro.experiments.results import ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.model.metrics import gmean, inverse_cdf, weighted_speedup
 from repro.model.system import AnalyticSystem, MixEvaluation
+from repro.nuca import SCHEMES, standard_schemes
 from repro.nuca.base import NucaScheme
-from repro.nuca import standard_schemes
 from repro.runner import Job, ProcessPoolRunner, run_jobs
 from repro.workloads.mixes import (
     Mix,
@@ -172,6 +174,18 @@ def sweep_jobs(
     ]
 
 
+def reduce_sweep_records(
+    records: list[dict], n_apps: int, n_mixes: int
+) -> SweepResult:
+    """Fold per-mix :func:`mix_record` payloads into one
+    :class:`SweepResult` — the reducer behind both the spec registry and
+    the legacy :func:`run_sweep`."""
+    result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
+    for record in records:
+        merge_mix_record(result, record)
+    return result
+
+
 def run_sweep(
     config: SystemConfig,
     n_apps: int,
@@ -184,17 +198,20 @@ def run_sweep(
 ) -> SweepResult:
     """Evaluate schemes over random mixes; returns aggregated results.
 
+    Legacy entry point, kept for backward compatibility — the same sweep
+    is registered as the ``fig11``/``fig13``/``fig14``/``fig15``/``fig16``
+    specs (see :mod:`repro.experiments.spec` and :class:`repro.api.Session`),
+    which share this function's job builder and reducer bitwise.
+
     With the default (standard) schemes, each mix runs as a runner job —
     pass *runner* for parallelism and caching.  Supplying custom *schemes*
     or a pre-built *system* keeps the legacy inline loop, since arbitrary
     scheme objects are not content-hashable job inputs.
     """
-    result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
     if schemes is None and system is None:
         jobs = sweep_jobs(config, n_apps, n_mixes, seed, multithreaded)
-        for record in run_jobs(jobs, runner):
-            merge_mix_record(result, record)
-        return result
+        return reduce_sweep_records(run_jobs(jobs, runner), n_apps, n_mixes)
+    result = SweepResult(n_apps=n_apps, n_mixes=n_mixes)
     system = system or AnalyticSystem(config)
     for mix_id in range(n_mixes):
         if multithreaded:
@@ -234,3 +251,106 @@ def evaluate_mix(
             )
         _record(result, name, evaluation, config.cache.bank_latency)
     return evaluations
+
+
+# -- spec registry -----------------------------------------------------------
+
+#: Occupancy points of the Fig 13 sweep.
+FIG13_APP_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+_SWEEP_PARAMS = (
+    Param("mixes", "int", 10, "random mixes per data point"),
+    Param("seed", "int", 42, "base RNG seed"),
+)
+
+
+def _sweep_table(result: SweepResult, title: str) -> ResultTable:
+    return ResultTable.make(
+        title=title,
+        headers=("Scheme", "gmean WS", "max WS"),
+        rows=[
+            (s, result.gmean_speedup(s), result.max_speedup(s))
+            for s in SCHEMES
+        ],
+    )
+
+
+def _register_sweep_spec(
+    name: str, figure: str, n_apps: int, multithreaded: bool
+) -> None:
+    kind = "8-thread" if multithreaded else "single-threaded"
+
+    def build_jobs(params: dict) -> list[Job]:
+        return sweep_jobs(
+            default_config(), n_apps, params["mixes"], params["seed"],
+            multithreaded,
+        )
+
+    def reduce(records: list, params: dict) -> SweepResult:
+        return reduce_sweep_records(records, n_apps, params["mixes"])
+
+    def present(result: SweepResult, params: dict) -> RunRecord:
+        title = f"{params['mixes']} mixes of {n_apps} {kind} apps"
+        return RunRecord(
+            experiment=name,
+            params=params,
+            tables=(_sweep_table(result, title),),
+        )
+
+    register(ExperimentSpec(
+        name=name,
+        summary=f"weighted speedups over {kind} {n_apps}-app mixes",
+        figure=figure,
+        params=_SWEEP_PARAMS,
+        build_jobs=build_jobs,
+        reduce=reduce,
+        present=present,
+    ))
+
+
+_register_sweep_spec("fig11", "Fig 11", n_apps=64, multithreaded=False)
+_register_sweep_spec("fig14", "Fig 14", n_apps=4, multithreaded=False)
+_register_sweep_spec("fig15", "Fig 15", n_apps=8, multithreaded=True)
+_register_sweep_spec("fig16", "Fig 16", n_apps=4, multithreaded=True)
+
+
+def _fig13_jobs(params: dict) -> list[Job]:
+    jobs: list[Job] = []
+    for n_apps in FIG13_APP_COUNTS:
+        jobs += sweep_jobs(
+            default_config(), n_apps, params["mixes"], params["seed"]
+        )
+    return jobs
+
+
+def _fig13_reduce(records: list, params: dict) -> dict[int, SweepResult]:
+    n_mixes = params["mixes"]
+    out: dict[int, SweepResult] = {}
+    for i, n_apps in enumerate(FIG13_APP_COUNTS):
+        chunk = records[i * n_mixes:(i + 1) * n_mixes]
+        out[n_apps] = reduce_sweep_records(chunk, n_apps, n_mixes)
+    return out
+
+
+def _fig13_present(result: dict[int, SweepResult], params: dict) -> RunRecord:
+    rows = [
+        (f"{n_apps}", *(result[n_apps].gmean_speedup(s) for s in SCHEMES))
+        for n_apps in FIG13_APP_COUNTS
+    ]
+    table = ResultTable.make(
+        title="Fig 13: gmean WS vs occupancy",
+        headers=("apps", *SCHEMES),
+        rows=rows,
+    )
+    return RunRecord(experiment="fig13", params=params, tables=(table,))
+
+
+register(ExperimentSpec(
+    name="fig13",
+    summary="gmean weighted speedup vs chip occupancy (1-64 apps)",
+    figure="Fig 13",
+    params=_SWEEP_PARAMS,
+    build_jobs=_fig13_jobs,
+    reduce=_fig13_reduce,
+    present=_fig13_present,
+))

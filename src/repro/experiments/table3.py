@@ -13,8 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, default_config
+from repro.experiments.results import ResultTable, RunRecord
+from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.nuca.base import build_problem
 from repro.nuca.cdcs import Cdcs
+from repro.runner import Job
 from repro.util.units import ms_to_cycles
 from repro.workloads.mixes import random_single_threaded_mix
 
@@ -76,3 +79,46 @@ def run_table3(
             )
         )
     return rows
+
+
+# -- spec registry -----------------------------------------------------------
+
+
+def _table3_jobs(params: dict) -> list[Job]:
+    return [Job(
+        fn=run_table3,
+        kwargs=dict(seed=params["seed"], repeats=params["repeats"]),
+        seed=params["seed"],
+        label="table3-runtime",
+    )]
+
+
+def _table3_reduce(records: list, params: dict) -> list[RuntimeRow]:
+    return records[0]
+
+
+def _table3_present(result: list[RuntimeRow], params: dict) -> RunRecord:
+    table = ResultTable.make(
+        title="Table 3: reconfiguration runtime",
+        headers=("thr/cores", "total Mcycles", "overhead@25ms"),
+        rows=[
+            (f"{r.threads}/{r.cores}", r.total_mcycles,
+             f"{r.overhead_percent():.3f}%")
+            for r in result
+        ],
+    )
+    return RunRecord(experiment="table3", params=params, tables=(table,))
+
+
+register(ExperimentSpec(
+    name="table3",
+    summary="software cost of each reconfiguration step, per chip size",
+    figure="Table 3",
+    params=(
+        Param("repeats", "int", 3, "mixes averaged per operating point"),
+        Param("seed", "int", 42, "mix RNG seed"),
+    ),
+    build_jobs=_table3_jobs,
+    reduce=_table3_reduce,
+    present=_table3_present,
+))

@@ -16,6 +16,12 @@ from repro.nuca.rnuca import RNuca, rotational_cluster
 from repro.nuca.sharing import shared_cache_occupancies
 from repro.nuca.snuca import SNuca
 
+#: The comparison schemes of the paper's tables/figures, in presentation
+#: order (S-NUCA is the baseline they are normalized against).  The single
+#: source of truth for every table header and row ordering — the CLI,
+#: the experiment specs, and the benchmark drivers all import this.
+SCHEMES: tuple[str, ...] = ("R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS")
+
 
 def standard_schemes(seed: int = 0) -> list[NucaScheme]:
     """The five schemes of Fig 11/13/15: S-NUCA, R-NUCA, Jigsaw+C,
@@ -36,6 +42,7 @@ __all__ = [
     "NucaScheme",
     "PartitionedShared",
     "RNuca",
+    "SCHEMES",
     "SNuca",
     "SchemeResult",
     "build_problem",

@@ -19,9 +19,16 @@ See docs/ARCHITECTURE.md for how a sweep flows through the runner.
 
 from repro.runner.job import Job
 from repro.runner.pool import ProcessPoolRunner, RunnerStats, run_jobs
-from repro.runner.store import MISS, NullStore, ResultStore, StoreStats
+from repro.runner.store import (
+    DEFAULT_CACHE_DIR,
+    MISS,
+    NullStore,
+    ResultStore,
+    StoreStats,
+)
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
     "Job",
     "MISS",
     "NullStore",

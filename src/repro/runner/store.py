@@ -26,6 +26,10 @@ from typing import Any
 #: Sentinel distinguishing "miss" from a cached ``None`` result.
 MISS = object()
 
+#: Default location of the content-hashed result cache — the single
+#: source of truth the CLI, :class:`repro.api.Session`, and docs share.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
 #: Bump when the entry layout changes; old entries then read as misses.
 _FORMAT = 1
 

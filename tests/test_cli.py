@@ -158,3 +158,163 @@ def test_gmon_command(capsys):
     assert main(["gmon"]) == 0
     out = capsys.readouterr().out
     assert "GMON-64" in out and "UMON-256" in out
+
+
+# ---------------------------------------------------------------------------
+# Registry-driven surface: run/list and structured export
+# ---------------------------------------------------------------------------
+
+
+def test_list_json_renders_registry(capsys):
+    import json
+
+    from repro.experiments.spec import spec_names
+
+    assert main(["list", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert [e["name"] for e in entries] == spec_names()
+    by_name = {e["name"]: e for e in entries}
+    assert by_name["fig11"]["figure"] == "Fig 11"
+    mixes = [p for p in by_name["fig11"]["params"] if p["name"] == "mixes"]
+    assert mixes and mixes[0]["default"] == 10
+
+
+def test_run_form_matches_subcommand_form(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    assert main(["run", "gmon", "--cache-dir", cache]) == 0
+    via_run = capsys.readouterr().out
+    assert main(["gmon", "--cache-dir", cache]) == 0
+    via_subcommand = capsys.readouterr().out
+    assert via_run == via_subcommand
+
+
+def test_run_with_param_overrides(capsys, tmp_path):
+    assert main(["run", "gmon", "--param", "app=milc",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "milc" in capsys.readouterr().out
+
+
+def test_run_format_json(capsys, tmp_path):
+    import json
+
+    assert main(["run", "gmon", "--format", "json",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["experiment"] == "gmon"
+    assert record["params"]["app"] == "astar"
+    [table] = record["tables"]
+    assert table["headers"][0] == "monitor"
+    assert len(table["rows"]) == 3
+
+
+def test_run_format_csv_to_file(capsys, tmp_path):
+    out = tmp_path / "gmon.csv"
+    assert main(["run", "gmon", "--format", "csv", "--out", str(out),
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""  # routed to the file, not stdout
+    assert str(out) in captured.err
+    lines = out.read_text().splitlines()
+    assert lines[1] == "monitor,MAE,small-size MAE"
+    assert sum(1 for ln in lines if ln.startswith(("GMON", "UMON"))) == 3
+
+
+def test_run_unknown_param_rejected(capsys, tmp_path):
+    _expect_usage_error(
+        capsys, ["run", "gmon", "--param", "bogus=1"],
+        "unknown parameter", "bogus",
+    )
+
+
+def test_run_malformed_param_rejected(capsys):
+    _expect_usage_error(capsys, ["run", "gmon", "--param", "appmilc"],
+                        "expects K=V")
+
+
+def test_run_bad_param_value_rejected(capsys):
+    _expect_usage_error(capsys, ["run", "fig14", "--param", "mixes=lots"],
+                        "mixes", "lots")
+
+
+def test_run_bad_tiles_param_rejected(capsys):
+    _expect_usage_error(
+        capsys, ["run", "scalability", "--param", "tiles=16,10"],
+        "perfect square", "10",
+    )
+
+
+def test_run_unknown_name_rejected(capsys):
+    _expect_usage_error(capsys, ["run", "fig99"], "invalid choice", "fig99")
+
+
+def test_seed_flag_reaches_the_spec(capsys, tmp_path):
+    import json
+
+    assert main(["run", "gmon", "--seed", "11", "--format", "json",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["params"]["seed"] == 11
+
+
+@pytest.mark.slow
+def test_every_registered_spec_runs_with_json_export(capsys, tmp_path):
+    """Acceptance: `run <name> --format json` succeeds for every name.
+
+    Parameters are shrunk to the smallest meaningful instance per spec so
+    the whole registry stays test-suite-sized.
+    """
+    import json
+
+    from repro.experiments.spec import spec_names
+
+    small = {
+        "fig11": ["--param", "mixes=1"],
+        "fig12": ["--param", "mixes=1"],
+        "fig13": ["--param", "mixes=1"],
+        "fig14": ["--param", "mixes=1"],
+        "fig15": ["--param", "mixes=1"],
+        "fig16": ["--param", "mixes=1"],
+        "phase_study": ["--param", "mixes=1"],
+        "placers": ["--param", "anneal_rounds=50"],
+        "scalability": ["--param", "tiles=16", "--param", "mixes=1"],
+        "table3": ["--param", "repeats=1"],
+    }
+    for name in spec_names():
+        argv = ["run", name, "--format", "json",
+                "--cache-dir", str(tmp_path / "cache")]
+        argv += small.get(name, [])
+        assert main(argv) == 0, name
+        record = json.loads(capsys.readouterr().out)
+        assert record["experiment"] == name
+        assert record["tables"] or record["series"], name
+
+
+def test_run_unknown_app_profile_is_a_usage_error(capsys):
+    # Bad parameter *values* that only surface at job-build time (the
+    # profile lookup) must still exit 2, not dump a traceback.
+    _expect_usage_error(capsys, ["run", "gmon", "--param", "app=nosuch"],
+                        "nosuch")
+
+
+def test_list_format_json_aliases_json_flag(capsys):
+    import json
+
+    assert main(["list", "--format", "json"]) == 0
+    as_format = capsys.readouterr().out
+    assert main(["list", "--json"]) == 0
+    as_flag = capsys.readouterr().out
+    assert json.loads(as_format) == json.loads(as_flag)
+
+
+def test_list_format_csv_rejected(capsys):
+    _expect_usage_error(capsys, ["list", "--format", "csv"],
+                        "table or json")
+
+
+def test_list_out_writes_file(capsys, tmp_path):
+    out = tmp_path / "registry.json"
+    assert main(["list", "--json", "--out", str(out)]) == 0
+    import json
+
+    entries = json.loads(out.read_text())
+    assert any(e["name"] == "fig11" for e in entries)

@@ -5,7 +5,9 @@ docs/*.md, and examples/README.md for three kinds of claims, and fails if
 any is stale:
 
 * ``python -m repro <experiment> --flag ...`` invocations — the experiment
-  must be a real CLI choice and every ``--flag`` a real argparse option;
+  must be a real CLI choice (the grammar is discovered from the generated
+  parser, including ``run <name>`` and per-spec flags) and every
+  ``--flag`` a real argparse option;
 * dotted module/function paths (``repro.runner.pool``,
   ``repro.experiments.run_sweep``,
   ``repro.sched.cost_model.latency_curves_batch``) — the longest module
@@ -13,10 +15,12 @@ any is stale:
 * repo file paths (``benchmarks/bench_fig11_single_threaded.py``,
   ``src/repro/...``) — must exist (shell globs are expanded).
 
-Two structural checks ride along: the hardcoded CLI flag list is probed
-against the real parser, and every vectorized-kernel module must keep the
-"Shape conventions" section of its docstring (the array shapes/dtypes
-contract documented in docs/PERFORMANCE.md).
+Three structural checks ride along: the documented CLI grammar is probed
+against the generated parser, the experiment registry is cross-checked
+against docs/REPRODUCING.md's "Experiment registry" index (every
+registered spec documented and vice versa), and every vectorized-kernel
+module must keep the "Shape conventions" section of its docstring (the
+array shapes/dtypes contract documented in docs/PERFORMANCE.md).
 
 Run via ``make docs-check`` (needs ``PYTHONPATH=src``); exits non-zero
 with one line per problem.
@@ -24,6 +28,7 @@ with one line per problem.
 
 from __future__ import annotations
 
+import argparse
 import glob
 import importlib
 import re
@@ -66,12 +71,29 @@ _BUILD_OUTPUTS = {
 }
 
 
-def check_cli_commands(text: str, origin: str, problems: list[str]) -> None:
+def _cli_grammar() -> tuple[dict[str, set[str]], set[str]]:
+    """(per-command flag sets, experiment names) discovered from the
+    real parser and registry — never a hand-maintained list."""
     import repro.__main__ as cli
+    from repro.experiments.spec import spec_names
 
-    experiments = set(cli.COMMANDS) | {"list"}
-    known_flags = {"--mixes", "--seed", "--jobs", "--cache-dir", "--no-cache",
-                   "--tiles", "--help"}
+    parser = cli.build_parser()
+    commands: dict[str, set[str]] = {}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                commands[name] = {
+                    s
+                    for sub_action in subparser._actions
+                    for s in sub_action.option_strings
+                    if s.startswith("--")
+                }
+    return commands, set(spec_names())
+
+
+def check_cli_commands(text: str, origin: str, problems: list[str]) -> None:
+    commands, experiments = _cli_grammar()
+    all_flags = set().union(*commands.values())
     for line in text.splitlines():
         line = line.strip()
         m = re.search(r"python -m repro\b(.*)", line)
@@ -87,16 +109,29 @@ def check_cli_commands(text: str, origin: str, problems: list[str]) -> None:
         exp = tokens[0]
         # A prose mention ("the `python -m repro` CLI") or a placeholder
         # ("python -m repro ...") makes no checkable claim about names.
-        if re.match(r"^[a-z][a-z0-9_-]*$", exp) and exp not in experiments:
+        if re.match(r"^[a-z][a-z0-9_-]*$", exp) and exp not in commands:
             problems.append(
                 f"{origin}: unknown experiment {exp!r} in: {line}"
             )
+        if exp == "run" and len(tokens) > 1:
+            name = tokens[1]
+            if (re.match(r"^[a-z][a-z0-9_-]*$", name)
+                    and name not in experiments):
+                problems.append(
+                    f"{origin}: run references unregistered experiment "
+                    f"{name!r} in: {line}"
+                )
+        # Flags are checked against the named subcommand's own grammar
+        # (a valid flag documented on the wrong experiment is stale too);
+        # prose/placeholder lines fall back to the union of all flags.
+        known_flags = commands.get(exp, all_flags)
         for tok in tokens[1:]:
             if tok.startswith("--"):
                 flag = tok.split("=", 1)[0]
                 if flag not in known_flags:
                     problems.append(
-                        f"{origin}: unknown CLI flag {flag!r} in: {line}"
+                        f"{origin}: flag {flag!r} is not an option of "
+                        f"`python -m repro {exp}` in: {line}"
                     )
 
 
@@ -164,30 +199,59 @@ def check_file(path: Path, problems: list[str]) -> None:
 
 
 def verify_flag_list() -> list[str]:
-    """Cross-check the hardcoded flag list against the real parser."""
+    """Probe the generated parser: the documented grammar must parse."""
     import repro.__main__ as cli
+    from repro.experiments.spec import spec_names
 
     probe = [
         ["list"],
-        ["list", "--mixes", "1", "--seed", "1", "--jobs", "1",
-         "--cache-dir", "x", "--no-cache", "--tiles", "16,64"],
+        ["list", "--json"],
+        ["run", "fig14", "--param", "mixes=1", "--seed", "1", "--jobs",
+         "1", "--cache-dir", "x", "--no-cache", "--format", "json",
+         "--out", "x.json"],
+        ["scalability", "--tiles", "16,64", "--mixes", "1"],
+        *([name] for name in spec_names()),
     ]
     problems = []
+    parser = cli.build_parser()
     for argv in probe:
         try:
-            import contextlib
-            import io
+            parser.parse_args(argv)
+        except SystemExit:  # argparse rejects unknown flags with exit 2
+            problems.append(
+                f"tools/docs_check.py: CLI parser rejected {argv} — the "
+                f"registry and repro.__main__ disagree"
+            )
+    return problems
 
-            with contextlib.redirect_stdout(io.StringIO()):
-                cli.main(argv)
-        except SystemExit as exc:  # argparse rejects unknown flags with exit 2
-            if exc.code not in (0, None):
-                problems.append(
-                    f"tools/docs_check.py: CLI rejected {argv} — update "
-                    f"known_flags to match repro.__main__"
-                )
-        except Exception as exc:  # pragma: no cover
-            problems.append(f"tools/docs_check.py: CLI probe failed: {exc}")
+
+def check_experiment_index() -> list[str]:
+    """Every registered spec appears in docs/REPRODUCING.md's experiment
+    registry index, and the index names no unregistered experiment."""
+    from repro.experiments.spec import spec_names
+
+    path = REPO / "docs" / "REPRODUCING.md"
+    text = path.read_text()
+    marker = "## Experiment registry"
+    if marker not in text:
+        return [
+            f"docs/REPRODUCING.md: missing the {marker!r} section "
+            f"(the registry index docs-check cross-checks)"
+        ]
+    section = text.split(marker, 1)[1].split("\n## ", 1)[0]
+    documented = set(re.findall(r"^\|\s*`([a-z0-9_]+)`", section, re.M))
+    registered = set(spec_names())
+    problems = []
+    for name in sorted(registered - documented):
+        problems.append(
+            f"docs/REPRODUCING.md: registered experiment {name!r} is "
+            f"missing from the experiment registry index"
+        )
+    for name in sorted(documented - registered):
+        problems.append(
+            f"docs/REPRODUCING.md: experiment registry index lists "
+            f"{name!r}, which is not registered"
+        )
     return problems
 
 
@@ -216,6 +280,7 @@ def check_shape_conventions() -> list[str]:
 def main() -> int:
     problems: list[str] = []
     problems += verify_flag_list()
+    problems += check_experiment_index()
     problems += check_shape_conventions()
     for doc in DOC_FILES:
         if not doc.exists():
