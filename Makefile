@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast lint bench-smoke run-smoke bench bench-kernels docs-check check clean
+.PHONY: test test-fast lint bench-smoke run-smoke bench bench-kernels bench-solver bench-compare docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -53,6 +53,20 @@ bench:
 ## (asserts the >= 3x floor; records an entry in benchmarks/BENCH.json).
 bench-kernels:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_kernels.py -q
+
+## Solver-strategy smoke: warm incremental/partitioned re-solve cost vs
+## the full pipeline + the reconfigure_epoch problem-reuse micro-bench.
+## Appends a bench_solver entry to benchmarks/BENCH.json (the artifact
+## tools/bench_compare.py gates against the committed baseline).
+bench-solver:
+	$(PYPATH) REPRO_JOBS=$(JOBS) $(PY) -m pytest \
+	    benchmarks/bench_solver_strategies.py -q
+
+## Fail if the latest bench_solver entry is >25% slower than the
+## previous one (pass BASELINE=path to diff against a saved BENCH.json).
+bench-compare:
+	$(PY) tools/bench_compare.py --bench bench_solver \
+	    $(if $(BASELINE),--baseline $(BASELINE),)
 
 ## Fail if README/docs code blocks reference CLI flags, experiments,
 ## modules, or files that do not exist.

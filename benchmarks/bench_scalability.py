@@ -6,7 +6,10 @@ mean hops stay within a modest band of the 64-tile point (co-scheduling
 keeps data local as the chip grows), while the modeled epoch-solve
 runtime grows superlinearly and overruns the 50 Mcycle reconfiguration
 interval at 256 tiles: the runtime, not cache locality, is the first
-scaling wall.
+scaling wall.  (PR 5's reconfiguration engine knocks that wall down —
+``bench_solver_strategies.py`` measures the incremental/partitioned
+strategies that keep 256-1024-tile meshes inside the interval; this
+driver keeps pinning the single-shot ``full`` baseline.)
 """
 
 from conftest import emit

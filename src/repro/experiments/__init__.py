@@ -69,6 +69,15 @@ from repro.experiments.scalability import (
     scalability_jobs,
     scalability_point,
 )
+from repro.experiments.solver_study import (
+    DYNAMISM_SWEEP,
+    INTERVAL_MCYCLES,
+    STRATEGY_SWEEP,
+    SolverStudyResult,
+    run_solver_study,
+    solver_point,
+    solver_study_jobs,
+)
 from repro.experiments.reconfig_study import (
     PROTOCOLS,
     PeriodSweepResult,
@@ -98,10 +107,12 @@ from repro.experiments.table3 import (
 
 __all__ = [
     "CaseStudyResult",
+    "DYNAMISM_SWEEP",
     "ExperimentSpec",
     "FORMATS",
     "FactorResult",
     "GEOMETRIES",
+    "INTERVAL_MCYCLES",
     "MonitorAccuracy",
     "OPERATING_POINTS",
     "PERIODS",
@@ -116,7 +127,9 @@ __all__ = [
     "ResultTable",
     "RunRecord",
     "RuntimeRow",
+    "STRATEGY_SWEEP",
     "ScalabilityResult",
+    "SolverStudyResult",
     "SweepResult",
     "TILE_POINTS",
     "VARIANTS",
@@ -151,10 +164,13 @@ __all__ = [
     "run_placer_comparison",
     "run_reconfig_trace",
     "run_scalability",
+    "run_solver_study",
     "run_sweep",
     "run_table3",
     "scalability_jobs",
     "scalability_point",
+    "solver_point",
+    "solver_study_jobs",
     "spec_names",
     "sweep_jobs",
 ]

@@ -18,6 +18,13 @@ story; solve time exploding would bound the usable mesh size.  Each
 (tiles, mix) pair is one :class:`repro.runner.Job`.  Cached records
 replay the solve times measured when the job actually executed (the
 placer-study convention; see docs/REPRODUCING.md).
+
+``--strategy`` selects the :mod:`repro.sched.engine` solve strategy
+(``full``/``incremental``/``partitioned``); the per-step solve breakdown
+(modeled Mcycles and wall) is exported alongside the headline table, and
+the sweep accepts tile counts up to 1024 (a 32x32 mesh) — the point
+where only the partitioned critical path still fits the reconfiguration
+interval (see ``solver_study`` for the warm-engine measurements).
 """
 
 from __future__ import annotations
@@ -33,11 +40,13 @@ from repro.experiments.spec import ExperimentSpec, Param, register
 from repro.model.system import AnalyticSystem
 from repro.nuca.base import SchemeResult, build_problem
 from repro.runner import Job, ProcessPoolRunner, run_jobs
-from repro.sched.reconfigure import reconfigure
+from repro.sched.engine import ReconfigEngine, strategy_names
 from repro.workloads.mixes import random_single_threaded_mix
 
 #: Mesh sizes swept by default: the paper's 64-tile chip bracketed by a
-#: quarter-size mesh and the 144- and 256-tile points beyond it.
+#: quarter-size mesh and the 144- and 256-tile points beyond it.  1024
+#: (a 32x32 mesh) is the partitioned-strategy stretch point — pass it via
+#: ``--tiles`` / ``--param tiles=...`` rather than by default.
 TILE_POINTS = (16, 64, 144, 256)
 
 
@@ -76,13 +85,21 @@ def scalability_point(
     seed: int,
     mix_id: int,
     occupancy: float = 1.0,
+    strategy: str = "full",
 ) -> dict:
-    """Job body: one mesh size, one random mix at fixed per-tile load."""
+    """Job body: one mesh size, one random mix at fixed per-tile load.
+
+    *strategy* selects the :mod:`repro.sched.engine` solve strategy for
+    the single cold-start solve this point measures (``partitioned``
+    splits the mesh into ~8x8 regions; ``incremental`` has no previous
+    solution here, so its cold solve is the full pipeline — the
+    ``solver_study`` experiment measures its warm epoch-over-epoch cost).
+    """
     config = scaled_mesh_config(tiles)
     n_apps = max(1, int(round(tiles * occupancy)))
     mix = random_single_threaded_mix(n_apps, seed, mix_id)
     problem = build_problem(mix, config)
-    result = reconfigure(problem)
+    result = ReconfigEngine(strategy).solve(problem)
     evaluation = AnalyticSystem(config).evaluate_solution(
         mix, problem, SchemeResult("CDCS", result.solution)
     )
@@ -98,12 +115,22 @@ def scalability_point(
     return {
         "tiles": tiles,
         "n_apps": n_apps,
+        "strategy": strategy,
         "aggregate_ipc": aggregate_ipc,
         "ipc_per_tile": aggregate_ipc / tiles,
         "mean_hops": hop_num / hop_den if hop_den else 0.0,
         "onchip_latency": evaluation.mean_onchip_latency_per_access(),
         "dram_utilization": evaluation.dram_utilization,
         "model_mcycles": result.counter.total_cycles() / 1e6,
+        # The cycles the reconfiguration interval must absorb: the critical
+        # path for partitioned solves (regions run on separate cores), the
+        # op-count total otherwise.
+        "modeled_mcycles": result.modeled_cycles() / 1e6,
+        # Per-step breakdown (Table 3 attribution), in Mcycles.
+        "step_mcycles": {
+            step: cycles / 1e6
+            for step, cycles in result.step_cycles().items()
+        },
         # Wall-clock is measurement, not simulation: excluded from the
         # equivalence contract, replayed as-measured from the cache.
         "solve_seconds": dict(result.wall_seconds),
@@ -116,18 +143,25 @@ def scalability_jobs(
     n_mixes: int = 2,
     seed: int = 42,
     occupancy: float = 1.0,
+    strategy: str = "full",
 ) -> list[Job]:
     """One :class:`Job` per (mesh size, mix) point."""
     for count in tiles:
         mesh_width(count)  # validate early, before any job runs
+    if strategy not in strategy_names():
+        raise ValueError(
+            f"unknown solve strategy {strategy!r} "
+            f"(have: {', '.join(strategy_names())})"
+        )
     return [
         Job(
             fn=scalability_point,
             kwargs=dict(
-                tiles=count, seed=seed, mix_id=mix_id, occupancy=occupancy
+                tiles=count, seed=seed, mix_id=mix_id, occupancy=occupancy,
+                strategy=strategy,
             ),
             seed=seed,
-            label=f"scalability-{count}t-mix{mix_id}",
+            label=f"scalability-{count}t-mix{mix_id}-{strategy}",
         )
         for count in tiles
         for mix_id in range(n_mixes)
@@ -163,17 +197,61 @@ class ScalabilityResult:
             for tiles in self.tile_points()
         ]
 
+    def mean_step_mcycles(self, tiles: int) -> dict[str, float]:
+        """Per-step modeled Mcycles, averaged over the mixes at *tiles*
+        (ordered reductions, path-independent)."""
+        rows = self.records[tiles]
+        steps: dict[str, float] = {}
+        for row in rows:
+            for step, mcycles in row.get("step_mcycles", {}).items():
+                steps[step] = steps.get(step, 0.0) + mcycles
+        return {step: total / len(rows) for step, total in steps.items()}
+
+    def mean_step_wall(self, tiles: int) -> dict[str, float]:
+        """Per-step solve wall seconds, averaged over the mixes."""
+        rows = self.records[tiles]
+        steps: dict[str, float] = {}
+        for row in rows:
+            for step, seconds in row.get("solve_seconds", {}).items():
+                steps[step] = steps.get(step, 0.0) + seconds
+        return {step: total / len(rows) for step, total in steps.items()}
+
+    def breakdown_rows(self) -> list[tuple]:
+        """One row per (mesh size, pipeline step): modeled Mcycles and
+        measured wall — the per-step view that shows *which* step overruns
+        the reconfiguration interval, not just that the total does."""
+        rows = []
+        for tiles in self.tile_points():
+            mcycles = self.mean_step_mcycles(tiles)
+            wall = self.mean_step_wall(tiles)
+            modeled = self.mean(tiles, "modeled_mcycles") if all(
+                "modeled_mcycles" in r for r in self.records[tiles]
+            ) else self.mean(tiles, "model_mcycles")
+            for step in sorted(set(mcycles) | set(wall)):
+                rows.append(
+                    (
+                        f"{tiles}",
+                        step,
+                        mcycles.get(step, 0.0),
+                        1e3 * wall.get(step, 0.0),
+                        modeled,
+                    )
+                )
+        return rows
+
 
 def run_scalability(
     tiles: tuple[int, ...] = TILE_POINTS,
     n_mixes: int = 2,
     seed: int = 42,
     occupancy: float = 1.0,
+    strategy: str = "full",
     runner: ProcessPoolRunner | None = None,
 ) -> ScalabilityResult:
     """Sweep mesh sizes at fixed per-tile load."""
     jobs = scalability_jobs(
-        tiles=tiles, n_mixes=n_mixes, seed=seed, occupancy=occupancy
+        tiles=tiles, n_mixes=n_mixes, seed=seed, occupancy=occupancy,
+        strategy=strategy,
     )
     return reduce_scalability_records(run_jobs(jobs, runner))
 
@@ -220,7 +298,7 @@ def parse_tiles(text: str) -> tuple[int, ...]:
 def _scalability_jobs(params: dict) -> list[Job]:
     return scalability_jobs(
         tiles=tuple(params["tiles"]), n_mixes=params["mixes"],
-        seed=params["seed"],
+        seed=params["seed"], strategy=params["strategy"],
     )
 
 
@@ -233,13 +311,22 @@ def _scalability_present(
 ) -> RunRecord:
     table = ResultTable.make(
         title=f"Scalability: mesh-size sweep at fixed per-tile load "
-              f"({params['mixes']} mixes/point)",
+              f"({params['mixes']} mixes/point, "
+              f"{params['strategy']} solves)",
         headers=("tiles", "apps", "IPC", "IPC/tile", "hops",
                  "runtime Mcyc", "solve ms"),
         rows=result.table_rows(),
     )
+    breakdown = ResultTable.make(
+        title="Solve breakdown per step (modeled Mcycles / measured wall; "
+              "'interval Mcyc' is what the reconfiguration interval must "
+              "absorb — the critical path for partitioned solves)",
+        headers=("tiles", "step", "step Mcyc", "step wall ms",
+                 "interval Mcyc"),
+        rows=result.breakdown_rows(),
+    )
     return RunRecord(
-        experiment="scalability", params=params, tables=(table,)
+        experiment="scalability", params=params, tables=(table, breakdown)
     )
 
 
@@ -252,6 +339,8 @@ register(ExperimentSpec(
               "comma-separated square tile counts"),
         Param("mixes", "int", 10, "random mixes per mesh size"),
         Param("seed", "int", 42, "mix RNG seed"),
+        Param("strategy", "str", "full",
+              "solve strategy: full, incremental, or partitioned"),
     ),
     build_jobs=_scalability_jobs,
     reduce=_scalability_reduce,

@@ -28,10 +28,12 @@ from functools import cached_property
 
 import numpy as np
 
-#: Process-wide geometry memo: exact-class key -> distance matrix.  Rebuilt
-#: Mesh/Torus instances of the same dimensions share one matrix (placement
-#: problems construct a fresh topology per mix).
-_SHARED_DISTANCE_CACHE: dict[tuple, np.ndarray] = {}
+#: Process-wide geometry memo: exact-class key -> {matrix name -> array}.
+#: Rebuilt Mesh/Torus instances of the same dimensions share the distance,
+#: spiral-order, and sorted-distance matrices (placement problems construct
+#: a fresh topology per mix; at 1024 tiles each argsort alone is a
+#: 1024x1024 stable sort, far too hot to redo per epoch).
+_SHARED_GEOMETRY_CACHE: dict[tuple, dict[str, np.ndarray]] = {}
 
 
 class Topology(ABC):
@@ -60,32 +62,44 @@ class Topology(ABC):
                 mat[a, b] = self.distance(a, b)
         return mat
 
+    def _shared_matrix(self, name: str, build) -> np.ndarray:
+        """Build *name* once per (class, dimensions) and share it
+        process-wide; topologies without a shared key build privately."""
+        key = self._shared_cache_key()
+        if key is None:
+            return build()
+        slot = _SHARED_GEOMETRY_CACHE.setdefault(key, {})
+        cached = slot.get(name)
+        if cached is None:
+            cached = build()
+            slot[name] = cached
+        return cached
+
     @cached_property
     def distance_matrix(self) -> np.ndarray:
         """Dense (tiles x tiles) hop-count matrix; placement algorithms index
         this instead of recomputing distances."""
-        key = self._shared_cache_key()
-        if key is not None:
-            cached = _SHARED_DISTANCE_CACHE.get(key)
-            if cached is None:
-                cached = self._build_distance_matrix()
-                _SHARED_DISTANCE_CACHE[key] = cached
-            return cached
-        return self._build_distance_matrix()
+        return self._shared_matrix("distance", self._build_distance_matrix)
 
     @cached_property
     def order_matrix(self) -> np.ndarray:
         """(tiles, tiles) visit order: row c = tiles sorted by (distance
         from c, tile id).  A stable argsort of the distance matrix yields
         exactly :meth:`tiles_by_distance` for every center at once."""
-        return np.argsort(self.distance_matrix, axis=1, kind="stable")
+        return self._shared_matrix(
+            "order",
+            lambda: np.argsort(self.distance_matrix, axis=1, kind="stable"),
+        )
 
     @cached_property
     def sorted_distance_matrix(self) -> np.ndarray:
         """(tiles, tiles): row c = distances from c in visit order (the
         j-th entry is the distance to the j-th-closest tile)."""
-        return np.take_along_axis(
-            self.distance_matrix, self.order_matrix, axis=1
+        return self._shared_matrix(
+            "sorted_distance",
+            lambda: np.take_along_axis(
+                self.distance_matrix, self.order_matrix, axis=1
+            ),
         )
 
     def tiles_by_distance(self, center: int) -> list[int]:
@@ -149,6 +163,23 @@ class Mesh(Topology):
         if type(self) in (Mesh, Torus):
             return (type(self).__name__, self.width, self.height)
         return None
+
+    def cache_key(self) -> tuple:
+        """Content identity for the runner's result cache: a mesh/torus is
+        fully determined by its class and dimensions (needed so a
+        :class:`repro.sched.problem.PlacementProblem` — e.g. one region of a
+        partitioned solve — can be a content-hashed job input).  Exact
+        classes only, mirroring :meth:`_shared_cache_key`: a subclass with
+        an overridden metric is *not* determined by (class name, width,
+        height) and must define its own key rather than silently colliding
+        with the parent's cached results."""
+        if type(self) not in (Mesh, Torus):
+            raise NotImplementedError(
+                f"{type(self).__name__} must define its own cache_key(): "
+                f"(class, width, height) does not determine a subclass "
+                f"with an overridden metric"
+            )
+        return (type(self).__name__, self.width, self.height)
 
     def _build_distance_matrix(self) -> np.ndarray:
         xs = np.arange(self.tiles, dtype=np.int32) % self.width

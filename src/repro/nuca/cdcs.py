@@ -1,31 +1,47 @@
 """CDCS: the paper's scheme — the full 4-step co-scheduling pipeline.
 
 Also exposes the partial variants used by the factor analysis of Fig 12
-(+L, +T, +D on top of Jigsaw+R).
+(+L, +T, +D on top of Jigsaw+R), and scheme-level selection of the solve
+strategy (``full``/``incremental``/``partitioned`` — see
+:mod:`repro.sched.engine`): the scheme keeps one
+:class:`~repro.sched.engine.ReconfigEngine` alive across ``run()`` calls,
+so repeated solves of a drifting problem warm-start exactly like the
+periodic runtime of Sec IV-G.
 """
 
 from __future__ import annotations
 
 from repro.nuca.base import NucaScheme, SchemeResult
+from repro.sched.engine import ReconfigEngine, SolveStrategy
 from repro.sched.problem import PlacementProblem
-from repro.sched.reconfigure import ReconfigPolicy, reconfigure
+from repro.sched.reconfigure import ReconfigPolicy
 from repro.sched.thread_placement import random_thread_placement
 
 
 class Cdcs(NucaScheme):
     name = "CDCS"
 
-    def __init__(self, policy: ReconfigPolicy | None = None, seed: int = 0):
+    def __init__(
+        self,
+        policy: ReconfigPolicy | None = None,
+        seed: int = 0,
+        strategy: str | SolveStrategy = "full",
+        **strategy_kwargs,
+    ):
         self.policy = policy or ReconfigPolicy.cdcs()
         self.seed = seed
+        self.engine = ReconfigEngine(
+            strategy, policy=self.policy, **strategy_kwargs
+        )
         if self.policy != ReconfigPolicy.cdcs():
             self.name = f"Jigsaw+R{self.policy.label()}"
 
     def run(self, problem: PlacementProblem) -> SchemeResult:
-        external = None
         if not self.policy.place_threads:
-            external = random_thread_placement(problem, self.seed)
-        result = reconfigure(problem, self.policy, external_thread_cores=external)
+            self.engine.external_thread_cores = random_thread_placement(
+                problem, self.seed
+            )
+        result = self.engine.solve(problem)
         return SchemeResult(self.name, result.solution, result.step_cycles())
 
 

@@ -4,8 +4,21 @@ refinement, and the 4-step reconfiguration pipeline (Fig 4)."""
 
 from repro.sched.allocation import (
     allocate_latency_aware,
+    allocate_latency_aware_subset,
     allocate_miss_driven,
     convex_hull_indices,
+)
+from repro.sched.engine import (
+    STRATEGIES,
+    EngineState,
+    FullSolve,
+    IncrementalSolve,
+    PartitionedSolve,
+    ReconfigEngine,
+    SolveStrategy,
+    auto_regions,
+    make_strategy,
+    strategy_names,
 )
 from repro.sched.cost_model import (
     latency_curve,
@@ -33,15 +46,26 @@ from repro.sched.vc_placement import OptimisticPlacement, place_optimistic
 
 __all__ = [
     "CYCLES_PER_OP",
+    "EngineState",
+    "FullSolve",
+    "IncrementalSolve",
     "OptimisticPlacement",
+    "PartitionedSolve",
     "PlacementProblem",
     "PlacementSolution",
+    "ReconfigEngine",
     "ReconfigPolicy",
     "ReconfigResult",
+    "STRATEGIES",
+    "SolveStrategy",
     "StepCounter",
     "ThreadSpec",
     "allocate_latency_aware",
+    "allocate_latency_aware_subset",
     "allocate_miss_driven",
+    "auto_regions",
+    "make_strategy",
+    "strategy_names",
     "clustered_thread_placement",
     "convex_hull_indices",
     "greedy_placement",

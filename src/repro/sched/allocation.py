@@ -159,6 +159,68 @@ def allocate_latency_aware(
     }
 
 
+def allocate_latency_aware_subset(
+    problem: PlacementProblem,
+    vc_ids: set[int],
+    budget_quanta: int,
+    counter: StepCounter | None = None,
+) -> dict[int, float]:
+    """Warm-start allocation over a subset of VCs (the incremental solve).
+
+    Re-runs the hull walk only for *vc_ids*, competing for *budget_quanta*
+    (the capacity not pinned by clean VCs); every other VC keeps whatever
+    the caller already holds for it.  Curve rows are the same per-VC
+    latency curves the full allocator builds, so a subset equal to all VCs
+    with the full budget reproduces :func:`allocate_latency_aware` exactly.
+    """
+    counter = counter if counter is not None else StepCounter()
+    subset = [
+        (i, vc) for i, vc in enumerate(problem.vcs) if vc.vc_id in vc_ids
+    ]
+    if not subset:
+        return {}
+    if use_vectorized():
+        # Batched build over the dirty rows only: per-VC independent, so
+        # bitwise the full-batch rows at O(dirty) cost.
+        curves = list(
+            latency_curves_batch(problem, vc_indices=[i for i, _ in subset])
+        )
+    else:
+        rates = vc_access_rates(problem)
+        curves = [
+            latency_curve(problem, vc.miss_curve, rates[i])
+            for i, vc in subset
+        ]
+    budget = max(0, budget_quanta)
+    sizes = _greedy_hull_allocation(curves, budget, counter, "allocation")
+    # Minimum-quantum guarantee, donors restricted to the subset: a clean
+    # VC's capacity is pinned, so an accessed-but-zero dirty VC can only be
+    # seeded from spare dirty budget or another dirty VC's tail.
+    spare = budget - sum(sizes)
+    for j, (_, vc) in enumerate(subset):
+        if sizes[j] > 0:
+            continue
+        rate = sum(problem.accessors_of(vc.vc_id).values())
+        if rate <= 0:
+            continue
+        if spare > 0:
+            spare -= 1
+        else:
+            candidates = [k for k in range(len(sizes)) if sizes[k] > 1]
+            if not candidates:
+                continue
+            donor = min(
+                candidates,
+                key=lambda k: curves[k][sizes[k] - 1] - curves[k][sizes[k]],
+            )
+            sizes[donor] -= 1
+        sizes[j] = 1
+    return {
+        vc.vc_id: sizes[j] * problem.quantum
+        for j, (_, vc) in enumerate(subset)
+    }
+
+
 def allocate_miss_driven(
     problem: PlacementProblem,
     counter: StepCounter | None = None,

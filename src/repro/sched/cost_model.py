@@ -285,6 +285,7 @@ def vc_access_rates(problem: PlacementProblem) -> list[float]:
 def latency_curves_batch(
     problem: PlacementProblem,
     rates: list[float] | None = None,
+    vc_indices: list[int] | None = None,
 ) -> np.ndarray:
     """All VCs' total-latency curves as one (K, Q+1) matrix.
 
@@ -292,14 +293,24 @@ def latency_curves_batch(
     rates[i])`` bitwise: the shared quanta grid is evaluated through a
     :class:`MissCurveBatch` (same interpolation arithmetic) and the Eq 1 /
     Eq 2 terms are combined with the scalar expression's operation order.
+
+    *vc_indices* restricts the build to those rows of ``problem.vcs``
+    (the incremental warm start's dirty subset) — each row is per-VC
+    independent, so the subset rows are bitwise the corresponding
+    full-batch rows at O(subset) cost.
     """
     rates = vc_access_rates(problem) if rates is None else rates
+    if vc_indices is None:
+        vcs = problem.vcs
+    else:
+        vcs = [problem.vcs[i] for i in vc_indices]
+        rates = [rates[i] for i in vc_indices]
     if any(r < 0 for r in rates):
         raise ValueError("access rate cannot be negative")
     dist = optimistic_on_chip_curve(problem)
     quanta = np.arange(len(dist), dtype=np.float64)
     sizes = quanta * problem.quantum
-    batch = MissCurveBatch([vc.miss_curve for vc in problem.vcs])
+    batch = MissCurveBatch([vc.miss_curve for vc in vcs])
     rate_arr = np.array(rates, dtype=np.float64)
     misses = np.minimum(batch.at_grid(sizes), rate_arr[:, None])
     per_hop = round_trip_cycles_per_hop(problem)

@@ -1,0 +1,694 @@
+"""The reconfiguration engine: interchangeable solve strategies (PR 5).
+
+The paper's pitch is that co-scheduling runs in near-linear time so
+reconfiguration stays cheap at hundreds of tiles (Sec IV, Table 3) — but a
+single-shot :func:`repro.sched.reconfigure.reconfigure` of a fully
+committed 256-tile mesh costs ~80 Mcycles of modeled runtime, overrunning
+the 50 Mcycle interval.  This module turns the monolithic pipeline into an
+engine with three interchangeable :class:`SolveStrategy` implementations:
+
+* :class:`FullSolve` (``"full"``) — the classic 4-step pipeline, bitwise
+  identical to calling ``reconfigure()`` directly.  The pinned equivalence
+  reference for everything else.
+* :class:`IncrementalSolve` (``"incremental"``) — warm-starts from the
+  previous epoch's solution.  VCs whose miss curves or access rates moved
+  beyond ``dirty_threshold`` (plus new/removed VCs and their threads) are
+  re-allocated and re-placed through the same kernels; everything else
+  keeps its capacity, banks, and cores.  ``dirty_threshold=0`` means "no
+  tolerance": every VC is dirty and the solve is exactly the full
+  pipeline, which is the degenerate-equivalence contract the tests pin.
+* :class:`PartitionedSolve` (``"partitioned"``) — splits the mesh into
+  ``regions`` × ``regions`` rectangular sub-meshes, solves each region as
+  an independent sub-problem (one runtime core per region, so the modeled
+  critical path is the *slowest region*, not the sum), then stitches with
+  a boundary-trade refinement pass restricted to VCs holding data next to
+  a region seam.  ``regions=1`` is the full pipeline with no stitch, again
+  bitwise identical by construction.
+
+:class:`ReconfigEngine` carries solver state (the previous problem and
+solution) across epochs, which is what the periodic runtime of Sec IV-G
+actually does — it never solves a frozen problem from scratch.
+
+All strategies run through the dual-path kernels of
+:mod:`repro.kernels`; their discrete decisions are identical between the
+vectorized and scalar-reference paths (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.geometry.mesh import Mesh
+from repro.geometry.placement_math import center_of_mass
+from repro.sched.allocation import allocate_latency_aware_subset
+from repro.sched.opcount import CYCLES_PER_OP, StepCounter
+from repro.sched.problem import PlacementProblem, PlacementSolution
+from repro.sched.reconfigure import ReconfigPolicy, ReconfigResult, reconfigure
+from repro.sched.refinement import refined_placement, trade_refinement
+from repro.sched.thread_placement import place_threads
+from repro.sched.vc_placement import OptimisticPlacement, place_optimistic
+
+
+@dataclass
+class EngineState:
+    """What a warm-started solve may assume about the previous epoch."""
+
+    problem: PlacementProblem | None = None
+    solution: PlacementSolution | None = None
+
+
+class SolveStrategy(Protocol):
+    """One way to turn a :class:`PlacementProblem` into a solution."""
+
+    name: str
+
+    def solve(
+        self,
+        problem: PlacementProblem,
+        policy: ReconfigPolicy,
+        external_thread_cores: dict[int, int] | None,
+        state: EngineState,
+    ) -> ReconfigResult:
+        """Solve *problem*; *state* holds the previous epoch's outcome."""
+        ...  # pragma: no cover - protocol
+
+
+def _copy_solution(solution: PlacementSolution) -> PlacementSolution:
+    """Deep-enough copy so reusing a solution never aliases engine state."""
+    return PlacementSolution(
+        vc_sizes=dict(solution.vc_sizes),
+        vc_allocation={
+            vc_id: dict(per_bank)
+            for vc_id, per_bank in solution.vc_allocation.items()
+        },
+        thread_cores=dict(solution.thread_cores),
+    )
+
+
+def _full_solve(
+    problem: PlacementProblem,
+    policy: ReconfigPolicy,
+    external_thread_cores: dict[int, int] | None,
+    strategy: str,
+) -> ReconfigResult:
+    """The shared cold-start/degenerate path: the classic pipeline, tagged
+    with the strategy that requested it."""
+    result = reconfigure(problem, policy, external_thread_cores)
+    result.strategy = strategy
+    return result
+
+
+class FullSolve:
+    """Today's single-shot 4-step pipeline (the equivalence reference)."""
+
+    name = "full"
+
+    def solve(self, problem, policy, external_thread_cores, state):
+        return _full_solve(problem, policy, external_thread_cores, self.name)
+
+
+# ---------------------------------------------------------------------------
+# Incremental
+# ---------------------------------------------------------------------------
+
+
+def curve_distance(a, b) -> float:
+    """Relative L-inf distance between two miss curves, normalized by the
+    larger curve peak.  0 means identical; 1 means a point moved by the
+    full peak miss rate.  Identity is free (stationary mixes reuse the
+    very same curve objects epoch to epoch)."""
+    if a is b:
+        return 0.0
+    sizes = np.union1d(a.sizes, b.sizes)
+    va = np.asarray(a(sizes), dtype=np.float64)
+    vb = np.asarray(b(sizes), dtype=np.float64)
+    scale = max(float(np.max(va)), float(np.max(vb)), 1e-12)
+    return float(np.max(np.abs(va - vb))) / scale
+
+
+def _vc_accessors(problem: PlacementProblem) -> dict[int, dict[int, float]]:
+    """vc_id -> {thread_id -> rate} in one pass over the thread list."""
+    out: dict[int, dict[int, float]] = {}
+    for thread in problem.threads:
+        for vc_id, rate in thread.vc_accesses.items():
+            if rate > 0:
+                out.setdefault(vc_id, {})[thread.thread_id] = rate
+    return out
+
+
+def _rate_distance(a: dict[int, float], b: dict[int, float]) -> float:
+    """Relative change between two accessor-rate maps (union of threads)."""
+    worst = 0.0
+    for tid in set(a) | set(b):
+        ra, rb = a.get(tid, 0.0), b.get(tid, 0.0)
+        denom = max(abs(ra), abs(rb), 1e-12)
+        worst = max(worst, abs(ra - rb) / denom)
+    return worst
+
+
+class IncrementalSolve:
+    """Warm-start from the previous solution, re-solving only dirty VCs.
+
+    A VC is dirty when its miss curve or accessor rates moved beyond
+    *dirty_threshold* (relative), or it did not exist last epoch.  Dirty
+    VCs release their capacity, banks, and their accessor threads' cores;
+    the pipeline then runs over just that released slice: subset hull
+    allocation, warm-started optimistic placement (clean footprints
+    pre-claimed), subset thread placement over the freed cores, greedy
+    seeding into the free capacity, and trades initiated by dirty VCs
+    (clean VCs may still be swap counterparties — the displaced
+    neighbors).
+
+    ``dirty_threshold <= 0`` marks every VC dirty, reducing to the full
+    pipeline — the pinned degenerate-equivalence case.  Cold starts
+    (no previous solution), topology/thread-set changes, and policies
+    without latency-aware allocation also fall back to the full pipeline.
+    """
+
+    name = "incremental"
+
+    def __init__(self, dirty_threshold: float = 0.05):
+        self.dirty_threshold = dirty_threshold
+
+    # -- dirty detection ----------------------------------------------------
+
+    def dirty_vcs(
+        self, prev: PlacementProblem, problem: PlacementProblem
+    ) -> set[int]:
+        """Ids of VCs that must be re-solved against *prev*."""
+        if self.dirty_threshold <= 0:
+            return {vc.vc_id for vc in problem.vcs}
+        prev_by_id = {vc.vc_id: vc for vc in prev.vcs}
+        prev_rates = _vc_accessors(prev)
+        cur_rates = _vc_accessors(problem)
+        dirty: set[int] = set()
+        for vc in problem.vcs:
+            old = prev_by_id.get(vc.vc_id)
+            if old is None:
+                dirty.add(vc.vc_id)
+                continue
+            if curve_distance(old.miss_curve, vc.miss_curve) > self.dirty_threshold:
+                dirty.add(vc.vc_id)
+                continue
+            delta = _rate_distance(
+                prev_rates.get(vc.vc_id, {}), cur_rates.get(vc.vc_id, {})
+            )
+            if delta > self.dirty_threshold:
+                dirty.add(vc.vc_id)
+        return dirty
+
+    def _can_warm_start(self, problem, policy, state) -> bool:
+        if state.problem is None or state.solution is None:
+            return False
+        if not policy.latency_aware_allocation:
+            # The warm start re-allocates through the latency-aware subset
+            # kernels; Jigsaw-style miss-driven policies take the full path.
+            return False
+        prev = state.problem
+        if prev.topology.tiles != problem.topology.tiles:
+            return False
+        if {t.thread_id for t in prev.threads} != {
+            t.thread_id for t in problem.threads
+        }:
+            return False
+        return True
+
+    # -- solve --------------------------------------------------------------
+
+    def solve(self, problem, policy, external_thread_cores, state):
+        if not self._can_warm_start(problem, policy, state):
+            return _full_solve(
+                problem, policy, external_thread_cores, self.name
+            )
+        dirty = self.dirty_vcs(state.problem, problem)
+        all_ids = {vc.vc_id for vc in problem.vcs}
+        if dirty == all_ids:
+            return _full_solve(
+                problem, policy, external_thread_cores, self.name
+            )
+        prev_sol = state.solution
+        removed = set(prev_sol.vc_allocation) - all_ids
+        if not dirty and not removed:
+            # Nothing moved: the previous placement is this epoch's answer.
+            return ReconfigResult(
+                _copy_solution(prev_sol), StepCounter(), {},
+                strategy=self.name,
+            )
+
+        counter = StepCounter()
+        wall: dict[str, float] = {}
+        topo = problem.topology
+        bank_bytes = float(problem.bank_bytes)
+        quantum = problem.quantum
+        clean_ids = all_ids - dirty
+
+        # 1. Capacity: clean VCs keep their sizes; dirty VCs compete for
+        # everything else through the hull allocator.
+        t0 = time.perf_counter()
+        clean_sizes = {
+            vc_id: prev_sol.vc_sizes.get(vc_id, 0.0) for vc_id in clean_ids
+        }
+        clean_quanta = sum(
+            int(round(size / quantum)) for size in clean_sizes.values()
+        )
+        budget = problem.total_bytes // quantum - clean_quanta
+        dirty_sizes = allocate_latency_aware_subset(
+            problem, dirty, budget, counter
+        )
+        sizes = {**clean_sizes, **dirty_sizes}
+        wall["allocation"] = time.perf_counter() - t0
+
+        # 2. Optimistic placement of dirty VCs, scored against the clean
+        # VCs' real footprints (claimed capacity in banks).
+        t0 = time.perf_counter()
+        claimed = np.zeros(topo.tiles, dtype=np.float64)
+        for vc_id in clean_ids:
+            for bank, amount in prev_sol.vc_allocation.get(vc_id, {}).items():
+                claimed[bank] += amount / bank_bytes
+        optimistic = place_optimistic(
+            problem, sizes, counter, vc_ids=dirty, claimed_init=claimed
+        )
+        # Clean VCs anchor thread placement at their *actual* data's center
+        # of mass (where the previous refinement left it).
+        centroids = dict(optimistic.centroids)
+        for vc_id in clean_ids:
+            per_bank = prev_sol.vc_allocation.get(vc_id)
+            if per_bank:
+                centroids[vc_id] = center_of_mass(
+                    topo,
+                    {b: amt / bank_bytes for b, amt in per_bank.items()},
+                )
+        merged = OptimisticPlacement(
+            footprints=optimistic.footprints,
+            centers=optimistic.centers,
+            centroids=centroids,
+            claimed=optimistic.claimed,
+        )
+        wall["vc_placement"] = time.perf_counter() - t0
+
+        # 3. Threads touching a dirty VC re-place over the cores they
+        # released; everyone else stays put.
+        t0 = time.perf_counter()
+        if policy.place_threads:
+            dirty_threads = {
+                t.thread_id
+                for t in problem.threads
+                if t.thread_id not in prev_sol.thread_cores
+                or any(vc_id in dirty for vc_id in t.vc_accesses)
+            }
+            clean_cores = {
+                t.thread_id: prev_sol.thread_cores[t.thread_id]
+                for t in problem.threads
+                if t.thread_id not in dirty_threads
+            }
+            placed = place_threads(
+                problem, sizes, merged, counter,
+                only_threads=dirty_threads,
+                taken_cores=set(clean_cores.values()),
+            )
+            thread_cores = {**clean_cores, **placed}
+        else:
+            if external_thread_cores is None:
+                raise ValueError(
+                    "policy does not place threads; provide "
+                    "external_thread_cores"
+                )
+            missing = {t.thread_id for t in problem.threads} - set(
+                external_thread_cores
+            )
+            if missing:
+                raise ValueError(
+                    f"external placement misses threads {sorted(missing)}"
+                )
+            thread_cores = dict(external_thread_cores)
+        wall["thread_placement"] = time.perf_counter() - t0
+
+        # 4. Data: clean banks pinned, dirty VCs seeded into the remaining
+        # free capacity, trades initiated by the dirty set only.
+        t0 = time.perf_counter()
+        preplaced = {
+            vc_id: dict(prev_sol.vc_allocation[vc_id])
+            for vc_id in clean_ids
+            if vc_id in prev_sol.vc_allocation
+        }
+        allocation = refined_placement(
+            problem, sizes, thread_cores, counter,
+            trades=policy.trade_refinement,
+            only_vcs=dirty, preplaced=preplaced,
+        )
+        wall["data_placement"] = time.perf_counter() - t0
+
+        solution = PlacementSolution(
+            vc_sizes={
+                vc_id: sum(per.values())
+                for vc_id, per in allocation.items()
+            },
+            vc_allocation=allocation,
+            thread_cores=thread_cores,
+        )
+        return ReconfigResult(
+            solution, counter, wall, strategy=self.name,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Partitioned
+# ---------------------------------------------------------------------------
+
+
+def _solve_region(
+    problem: PlacementProblem,
+    policy: ReconfigPolicy,
+    external_thread_cores: dict[int, int] | None,
+) -> ReconfigResult:
+    """Module-level region solve (picklable, so it can be a runner job)."""
+    return reconfigure(problem, policy, external_thread_cores)
+
+
+def auto_regions(topology) -> int:
+    """Split factor so each region is roughly the paper's 8x8 design
+    point: the largest k <= min(W, H) // 8 that divides both axes
+    (1 when the mesh is too small or indivisible — i.e. a full solve)."""
+    width = getattr(topology, "width", None)
+    height = getattr(topology, "height", None)
+    if not width or not height:
+        return 1
+    for k in range(min(width, height) // 8, 1, -1):
+        if width % k == 0 and height % k == 0:
+            return k
+    return 1
+
+
+class PartitionedSolve:
+    """Solve k x k mesh regions independently, then stitch the seams.
+
+    Each region is a rectangular sub-mesh solved as its own
+    :class:`PlacementProblem` through the unchanged pipeline (one runtime
+    core per region — the modeled critical path is the slowest region's
+    op count, not the total).  Threads follow their process into exactly
+    one region (bin-packed largest-first; with external placements, the
+    region owning the external core), and each process's VCs come along.
+    The stitch is a boundary-trade pass: VCs holding data in a bank
+    adjacent to another region may trade across the seam, with anyone as
+    counterparty — op-counted under the ``stitch`` step.
+
+    ``regions=1`` solves the whole mesh as one region and skips the
+    stitch (there are no seams), making it bitwise-identical to
+    :class:`FullSolve`.  ``regions=None`` (the default) picks
+    :func:`auto_regions` per problem.  An optional
+    :class:`repro.runner.ProcessPoolRunner` fans region solves over
+    worker processes (results are identical either way).
+    """
+
+    name = "partitioned"
+
+    def __init__(self, regions: int | None = None, runner=None):
+        if regions is not None and regions < 1:
+            raise ValueError(f"regions must be >= 1, got {regions}")
+        self.regions = regions
+        self.runner = runner
+
+    # -- geometry -----------------------------------------------------------
+
+    def _split(self, topo: Mesh, k: int):
+        if type(topo) is not Mesh:
+            raise ValueError(
+                "partitioned solves need a plain Mesh topology "
+                f"(got {type(topo).__name__})"
+            )
+        if topo.width % k or topo.height % k:
+            raise ValueError(
+                f"regions={k} does not divide the "
+                f"{topo.width}x{topo.height} mesh"
+            )
+        return topo.width // k, topo.height // k
+
+    def solve(self, problem, policy, external_thread_cores, state):
+        topo = problem.topology
+        k = self.regions if self.regions is not None else auto_regions(topo)
+        if k <= 1:
+            result = _full_solve(
+                problem, policy, external_thread_cores, self.name
+            )
+            return result
+        rw, rh = self._split(topo, k)
+        n_regions = k * k
+
+        def region_of(tile: int) -> int:
+            x, y = topo.coords(tile)
+            return (y // rh) * k + (x // rw)
+
+        def to_local(tile: int) -> int:
+            x, y = topo.coords(tile)
+            return (y % rh) * rw + (x % rw)
+
+        def to_global(region: int, local: int) -> int:
+            gx = (region % k) * rw + local % rw
+            gy = (region // k) * rh + local // rw
+            return topo.tile_at(gx, gy)
+
+        # -- assign processes (and with them, threads + VCs) to regions ----
+        region_threads: dict[int, list] = {r: [] for r in range(n_regions)}
+        if external_thread_cores is not None:
+            thread_region: dict[int, int] = {}
+            for thread in problem.threads:
+                core = external_thread_cores.get(thread.thread_id)
+                if core is None:
+                    raise ValueError(
+                        f"external placement misses thread {thread.thread_id}"
+                    )
+                region = region_of(core)
+                seen = thread_region.get(thread.process_id)
+                if seen is not None and seen != region:
+                    # A process's shared VCs live in exactly one region;
+                    # threads scattered across regions would silently
+                    # under-allocate them.  Refuse rather than diverge.
+                    raise ValueError(
+                        f"external placement splits process "
+                        f"{thread.process_id} across regions; partitioned "
+                        f"solves need region-local processes (use fewer "
+                        f"regions or a region-aligned placement)"
+                    )
+                thread_region[thread.process_id] = region
+                region_threads[region].append(thread)
+        else:
+            by_process: dict[int, list] = {}
+            for thread in problem.threads:
+                by_process.setdefault(thread.process_id, []).append(thread)
+            free = {r: rw * rh for r in range(n_regions)}
+            order = sorted(
+                by_process.items(), key=lambda kv: (-len(kv[1]), kv[0])
+            )
+            for process_id, threads in order:
+                target = max(
+                    range(n_regions), key=lambda r: (free[r], -r)
+                )
+                if len(threads) > free[target]:
+                    raise ValueError(
+                        f"process {process_id} has {len(threads)} threads "
+                        f"but the largest region has {free[target]} free "
+                        f"cores; use fewer regions"
+                    )
+                region_threads[target].extend(threads)
+                free[target] -= len(threads)
+
+        process_region = {
+            t.process_id: r
+            for r, threads in region_threads.items()
+            for t in threads
+        }
+        region_vcs: dict[int, list] = {r: [] for r in range(n_regions)}
+        for vc in problem.vcs:
+            region_vcs[process_region.get(vc.process_id, 0)].append(vc)
+
+        # -- solve each region as an independent sub-problem ---------------
+        sub_config = problem.config.with_mesh(rw, rh)
+        sub_problems = []
+        sub_externals = []
+        for region in range(n_regions):
+            sub_problems.append(
+                PlacementProblem(
+                    config=sub_config,
+                    topology=Mesh(rw, rh),
+                    vcs=region_vcs[region],
+                    threads=region_threads[region],
+                    # The DRAM round trip is a chip-level constant; regions
+                    # see the same memory the whole mesh does.
+                    mem_latency=problem.mem_latency,
+                )
+            )
+            if external_thread_cores is None:
+                sub_externals.append(None)
+            else:
+                sub_externals.append(
+                    {
+                        t.thread_id: to_local(
+                            external_thread_cores[t.thread_id]
+                        )
+                        for t in region_threads[region]
+                    }
+                )
+
+        region_results = self._solve_regions(
+            sub_problems, policy, sub_externals
+        )
+
+        # -- merge local solutions back into chip coordinates ---------------
+        counter = StepCounter()
+        wall: dict[str, float] = {}
+        allocation: dict[int, dict[int, float]] = {}
+        thread_cores: dict[int, int] = {}
+        critical = 0.0
+        for region, result in enumerate(region_results):
+            counter = counter.merged(result.counter)
+            critical = max(critical, result.counter.total_cycles())
+            for step, seconds in result.wall_seconds.items():
+                wall[step] = wall.get(step, 0.0) + seconds
+            for vc_id, per_bank in result.solution.vc_allocation.items():
+                allocation[vc_id] = {
+                    to_global(region, bank): amount
+                    for bank, amount in per_bank.items()
+                }
+            for thread_id, core in result.solution.thread_cores.items():
+                thread_cores[thread_id] = to_global(region, core)
+
+        # -- stitch: boundary VCs trade across the seams --------------------
+        if policy.trade_refinement:
+            t0 = time.perf_counter()
+            boundary_banks = {
+                tile
+                for tile in range(topo.tiles)
+                if any(
+                    region_of(n) != region_of(tile)
+                    for n in topo.neighbors(tile)
+                )
+            }
+            boundary_vcs = {
+                vc_id
+                for vc_id, per_bank in allocation.items()
+                if any(
+                    bank in boundary_banks and amount > 1e-9
+                    for bank, amount in per_bank.items()
+                )
+            }
+            stitch_counter = StepCounter()
+            trade_refinement(
+                problem, allocation, thread_cores, stitch_counter,
+                initiators=boundary_vcs,
+            )
+            stitch_ops = sum(stitch_counter.ops.values())
+            if stitch_ops:
+                counter.add("stitch", stitch_ops)
+            critical += stitch_ops * CYCLES_PER_OP
+            wall["stitch"] = time.perf_counter() - t0
+
+        solution = PlacementSolution(
+            vc_sizes={
+                vc_id: sum(per.values())
+                for vc_id, per in allocation.items()
+            },
+            vc_allocation=allocation,
+            thread_cores=thread_cores,
+        )
+        return ReconfigResult(
+            solution, counter, wall,
+            strategy=self.name, critical_path_cycles=critical,
+        )
+
+    def _solve_regions(self, sub_problems, policy, sub_externals):
+        if self.runner is None:
+            return [
+                _solve_region(sub, policy, ext)
+                for sub, ext in zip(sub_problems, sub_externals)
+            ]
+        from repro.runner import Job  # lazy: sched must not need the runner
+
+        jobs = [
+            Job(
+                fn=_solve_region,
+                kwargs=dict(
+                    problem=sub, policy=policy, external_thread_cores=ext
+                ),
+                label=f"region-{i}",
+            )
+            for i, (sub, ext) in enumerate(zip(sub_problems, sub_externals))
+        ]
+        return self.runner.map(jobs)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+#: Registered strategy names -> constructors (the scheme/CLI vocabulary).
+STRATEGIES = {
+    "full": FullSolve,
+    "incremental": IncrementalSolve,
+    "partitioned": PartitionedSolve,
+}
+
+
+def strategy_names() -> list[str]:
+    return sorted(STRATEGIES)
+
+
+def make_strategy(name: str, **kwargs) -> SolveStrategy:
+    """Build a strategy from its registered name (kwargs pass through)."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solve strategy {name!r} "
+            f"(have: {', '.join(strategy_names())})"
+        ) from None
+    return cls(**kwargs)
+
+
+class ReconfigEngine:
+    """Carries solver state across epochs and applies one strategy.
+
+    ``engine.solve(problem)`` runs the configured strategy against the
+    previous epoch's (problem, solution) pair and records the new pair —
+    exactly the warm state the periodic runtime of Sec IV-G keeps between
+    intervals.  Construct with a strategy name (``"full"``,
+    ``"incremental"``, ``"partitioned"``) or a ready
+    :class:`SolveStrategy` instance.
+    """
+
+    def __init__(
+        self,
+        strategy: str | SolveStrategy = "full",
+        policy: ReconfigPolicy | None = None,
+        external_thread_cores: dict[int, int] | None = None,
+        **strategy_kwargs,
+    ):
+        if isinstance(strategy, str):
+            strategy = make_strategy(strategy, **strategy_kwargs)
+        elif strategy_kwargs:
+            raise ValueError(
+                "strategy kwargs only apply when the strategy is named"
+            )
+        self.strategy = strategy
+        self.policy = policy or ReconfigPolicy.cdcs()
+        self.external_thread_cores = external_thread_cores
+        self.state = EngineState()
+
+    def solve(self, problem: PlacementProblem) -> ReconfigResult:
+        """Solve one epoch's problem and advance the engine state."""
+        result = self.strategy.solve(
+            problem, self.policy, self.external_thread_cores, self.state
+        )
+        # Snapshot the solution: callers own the returned object and may
+        # mutate it without corrupting the next epoch's warm start.
+        self.state = EngineState(
+            problem=problem, solution=_copy_solution(result.solution)
+        )
+        return result
+
+    def reset(self) -> None:
+        """Drop the warm state (the next solve is a cold start)."""
+        self.state = EngineState()

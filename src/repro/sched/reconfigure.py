@@ -57,20 +57,48 @@ class ReconfigPolicy:
         return "+" + "".join(parts) if parts else "base"
 
 
+#: The canonical Fig 4 pipeline steps, in order.  Strategies may count
+#: extra steps (e.g. the partitioned solve's ``stitch`` pass); these four
+#: are always reported, present or not.
+PIPELINE_STEPS = (
+    "allocation", "vc_placement", "thread_placement", "data_placement",
+)
+
+
 @dataclass
 class ReconfigResult:
-    """A solution plus per-step accounting (Table 3)."""
+    """A solution plus per-step accounting (Table 3).
+
+    *strategy* names the :mod:`repro.sched.engine` strategy that produced
+    the solution (``"full"`` for the classic single-shot pipeline).
+    *critical_path_cycles*, when set, is the modeled runtime along the
+    longest dependent chain — a partitioned solve runs its regions on
+    separate cores, so its critical path is the slowest region plus the
+    stitch pass, not the op-count total.
+    """
 
     solution: PlacementSolution
     counter: StepCounter
     wall_seconds: dict[str, float] = field(default_factory=dict)
+    strategy: str = "full"
+    critical_path_cycles: float | None = None
 
     def step_cycles(self) -> dict[str, float]:
-        return {
-            step: self.counter.cycles(step)
-            for step in ("allocation", "vc_placement", "thread_placement",
-                         "data_placement")
-        }
+        """Modeled cycles per step: the four pipeline steps always, plus
+        any strategy-specific steps the counter saw (e.g. ``stitch``)."""
+        cycles = {step: self.counter.cycles(step) for step in PIPELINE_STEPS}
+        for step in sorted(self.counter.ops):
+            if step not in cycles:
+                cycles[step] = self.counter.cycles(step)
+        return cycles
+
+    def modeled_cycles(self) -> float:
+        """The runtime the reconfiguration interval must absorb: the
+        critical path when the strategy solved in parallel, the op-count
+        total otherwise."""
+        if self.critical_path_cycles is not None:
+            return self.critical_path_cycles
+        return self.counter.total_cycles()
 
 
 def reconfigure(
@@ -134,6 +162,7 @@ def reconfigure_epoch(
     policy: ReconfigPolicy | None = None,
     external_thread_cores: dict[int, int] | None = None,
     topology=None,
+    prior_problem: PlacementProblem | None = None,
 ) -> tuple[ReconfigResult, PlacementProblem]:
     """One epoch-boundary reconfiguration against the mix's *current* curves.
 
@@ -147,10 +176,22 @@ def reconfigure_epoch(
     result and the rebuilt problem so evaluation and solution agree.
 
     For stationary mixes this is ``reconfigure(build_problem(mix, config))``
-    — the classic single-shot pipeline.
+    — the classic single-shot pipeline.  Pass the previous epoch's problem
+    as *prior_problem* and it is reused outright when the mix is stationary
+    (its curves cannot have moved), skipping the per-epoch VC/thread/
+    topology rebuild entirely; phased mixes always rebuild against the
+    active snapshot, reusing only the prior problem's topology (whose
+    geometry matrices are shared process-wide regardless).
     """
     from repro.nuca.base import build_problem  # sched must not import nuca eagerly
+    from repro.workloads.mixes import mix_is_phased
 
+    if prior_problem is not None:
+        if not mix_is_phased(mix):
+            result = reconfigure(prior_problem, policy, external_thread_cores)
+            return result, prior_problem
+        if topology is None:
+            topology = prior_problem.topology
     problem = build_problem(mix, config, topology)
     result = reconfigure(problem, policy, external_thread_cores)
     return result, problem

@@ -107,15 +107,28 @@ def greedy_placement(
     vc_sizes: dict[int, float],
     thread_cores: dict[int, int],
     counter: StepCounter | None = None,
+    only_vcs: set[int] | None = None,
+    preplaced: dict[int, dict[int, float]] | None = None,
 ) -> dict[int, dict[int, float]]:
-    """Round-robin nearest-bank placement; returns vc_id -> {bank: bytes}."""
+    """Round-robin nearest-bank placement; returns vc_id -> {bank: bytes}.
+
+    *only_vcs*/*preplaced* warm-start an incremental re-place: VCs in
+    *preplaced* keep their banks (their capacity is subtracted from the
+    free tally) and only *only_vcs* compete for what remains.
+    """
     counter = counter if counter is not None else StepCounter()
     topo = problem.topology
     free = np.full(topo.tiles, float(problem.bank_bytes))
     allocation: dict[int, dict[int, float]] = {}
+    for vc_id, per_bank in (preplaced or {}).items():
+        allocation[vc_id] = dict(per_bank)
+        for bank, amount in per_bank.items():
+            free[bank] -= amount
 
     states = []
     for vc in problem.vcs:
+        if only_vcs is not None and vc.vc_id not in only_vcs:
+            continue
         size = vc_sizes.get(vc.vc_id, 0.0)
         allocation[vc.vc_id] = {}
         if size <= 0:
@@ -164,8 +177,14 @@ def trade_refinement(
     allocation: dict[int, dict[int, float]],
     thread_cores: dict[int, int],
     counter: StepCounter | None = None,
+    initiators: set[int] | None = None,
 ) -> int:
-    """Improve *allocation* in place via spiral trades; returns trades done."""
+    """Improve *allocation* in place via spiral trades; returns trades done.
+
+    With *initiators*, only the named VCs start trades (the incremental
+    dirty set, or a partitioned solve's boundary VCs); any VC can still be
+    the counterparty of a swap — that is how displaced neighbors move.
+    """
     counter = counter if counter is not None else StepCounter()
     topo = problem.topology
     dist = topo.distance_matrix
@@ -197,6 +216,8 @@ def trade_refinement(
     # Hot VCs (most accesses per byte) refine first: their data is the most
     # latency-sensitive and other VCs' data is cheap to displace.
     order = sorted(dvec, key=lambda v: (-rate_per_byte[v], v))
+    if initiators is not None:
+        order = [v for v in order if v in initiators]
     for vc1 in order:
         per_bank1 = allocation[vc1]
         if not per_bank1:
@@ -268,10 +289,22 @@ def refined_placement(
     thread_cores: dict[int, int],
     counter: StepCounter | None = None,
     trades: bool = True,
+    only_vcs: set[int] | None = None,
+    preplaced: dict[int, dict[int, float]] | None = None,
 ) -> dict[int, dict[int, float]]:
-    """Greedy seed + (optionally) one round of trades — the full Sec IV-F."""
+    """Greedy seed + (optionally) one round of trades — the full Sec IV-F.
+
+    With *only_vcs*/*preplaced* this is the incremental step 4: the named
+    VCs are greedily seeded into the capacity left free by the preplaced
+    ones, and only they initiate trades afterwards.
+    """
     counter = counter if counter is not None else StepCounter()
-    allocation = greedy_placement(problem, vc_sizes, thread_cores, counter)
+    allocation = greedy_placement(
+        problem, vc_sizes, thread_cores, counter,
+        only_vcs=only_vcs, preplaced=preplaced,
+    )
     if trades:
-        trade_refinement(problem, allocation, thread_cores, counter)
+        trade_refinement(
+            problem, allocation, thread_cores, counter, initiators=only_vcs
+        )
     return allocation

@@ -36,8 +36,16 @@ def place_threads(
     vc_sizes: dict[int, float],
     optimistic: OptimisticPlacement,
     counter: StepCounter | None = None,
+    only_threads: set[int] | None = None,
+    taken_cores: set[int] | None = None,
 ) -> dict[int, int]:
-    """Assign each thread a core; returns thread_id -> tile."""
+    """Assign each thread a core; returns thread_id -> tile.
+
+    *only_threads*/*taken_cores* are the incremental warm start: only the
+    named threads are (re)placed, competing for the cores not already held
+    by the threads staying put.  The returned dict covers only the placed
+    threads in that mode.
+    """
     counter = counter if counter is not None else StepCounter()
     topo = problem.topology
     chip_center = topo.coords(topo.center_tile())  # type: ignore[attr-defined]
@@ -63,10 +71,20 @@ def place_threads(
         )
 
     order = sorted(
-        problem.threads,
+        (
+            t
+            for t in problem.threads
+            if only_threads is None or t.thread_id in only_threads
+        ),
         key=lambda t: (-priority(t), t.thread_id),
     )
-    free = set(range(topo.tiles))
+    # Build `free` exactly as before when nothing is pinned: the candidate
+    # scan iterates this set, so even its construction order is part of the
+    # pinned full-path behavior.
+    if taken_cores:
+        free = {c for c in range(topo.tiles) if c not in taken_cores}
+    else:
+        free = set(range(topo.tiles))
     assignment: dict[int, int] = {}
     vectorized = use_vectorized()
     for thread in order:

@@ -56,24 +56,47 @@ class OptimisticPlacement:
     claimed: np.ndarray
 
 
+def _placement_order(problem, vc_sizes, vc_ids):
+    """Largest-first visit order over the VCs being (re)placed."""
+    return sorted(
+        (
+            vc
+            for vc in problem.vcs
+            if vc_sizes.get(vc.vc_id, 0.0) > 0
+            and (vc_ids is None or vc.vc_id in vc_ids)
+        ),
+        key=lambda vc: (-vc_sizes[vc.vc_id], vc.vc_id),
+    )
+
+
+def _initial_claimed(topo, claimed_init) -> np.ndarray:
+    if claimed_init is None:
+        return np.zeros(topo.tiles, dtype=np.float64)
+    return np.array(claimed_init, dtype=np.float64)
+
+
 def place_optimistic_scalar(
     problem: PlacementProblem,
     vc_sizes: dict[int, float],
     counter: StepCounter | None = None,
+    vc_ids: set[int] | None = None,
+    claimed_init: np.ndarray | None = None,
 ) -> OptimisticPlacement:
-    """Scalar reference: one compact window built and scored per candidate."""
+    """Scalar reference: one compact window built and scored per candidate.
+
+    *vc_ids*/*claimed_init* are the incremental warm start: only the named
+    VCs are placed, scored against a claimed-capacity tally pre-seeded with
+    the footprints of the VCs that are staying put.
+    """
     counter = counter if counter is not None else StepCounter()
     topo = problem.topology
     bank_bytes = problem.bank_bytes
-    claimed = np.zeros(topo.tiles, dtype=np.float64)
+    claimed = _initial_claimed(topo, claimed_init)
     footprints: dict[int, dict[int, float]] = {}
     centers: dict[int, int] = {}
     centroids: dict[int, tuple[float, ...]] = {}
 
-    order = sorted(
-        (vc for vc in problem.vcs if vc_sizes.get(vc.vc_id, 0.0) > 0),
-        key=lambda vc: (-vc_sizes[vc.vc_id], vc.vc_id),
-    )
+    order = _placement_order(problem, vc_sizes, vc_ids)
     for vc in order:
         size_banks = vc_sizes[vc.vc_id] / bank_bytes
         best_bank = -1
@@ -104,6 +127,8 @@ def place_optimistic_vectorized(
     problem: PlacementProblem,
     vc_sizes: dict[int, float],
     counter: StepCounter | None = None,
+    vc_ids: set[int] | None = None,
+    claimed_init: np.ndarray | None = None,
 ) -> OptimisticPlacement:
     """Vectorized Sec IV-D: per VC, every candidate center is scored in one
     matrix pass over the precomputed spiral-order matrices.
@@ -112,19 +137,18 @@ def place_optimistic_vectorized(
     spread, candidate)``; spiral-ordered ``cumsum`` reductions make both
     score vectors bitwise-equal to the per-candidate loops, so the chosen
     centers (and footprints, centroids, claimed tally) are identical.
+    *vc_ids*/*claimed_init* warm-start an incremental re-place exactly as
+    in :func:`place_optimistic_scalar`.
     """
     counter = counter if counter is not None else StepCounter()
     topo = problem.topology
     bank_bytes = problem.bank_bytes
-    claimed = np.zeros(topo.tiles, dtype=np.float64)
+    claimed = _initial_claimed(topo, claimed_init)
     footprints: dict[int, dict[int, float]] = {}
     centers: dict[int, int] = {}
     centroids: dict[int, tuple[float, ...]] = {}
 
-    order = sorted(
-        (vc for vc in problem.vcs if vc_sizes.get(vc.vc_id, 0.0) > 0),
-        key=lambda vc: (-vc_sizes[vc.vc_id], vc.vc_id),
-    )
+    order = _placement_order(problem, vc_sizes, vc_ids)
     candidates = np.arange(topo.tiles)
     for vc in order:
         size_banks = vc_sizes[vc.vc_id] / bank_bytes
@@ -151,8 +175,15 @@ def place_optimistic(
     problem: PlacementProblem,
     vc_sizes: dict[int, float],
     counter: StepCounter | None = None,
+    vc_ids: set[int] | None = None,
+    claimed_init: np.ndarray | None = None,
 ) -> OptimisticPlacement:
-    """Run the Sec IV-D placement for all VCs with non-zero size."""
+    """Run the Sec IV-D placement for all VCs with non-zero size (or, with
+    *vc_ids*/*claimed_init*, an incremental warm-started subset)."""
     if use_vectorized():
-        return place_optimistic_vectorized(problem, vc_sizes, counter)
-    return place_optimistic_scalar(problem, vc_sizes, counter)
+        return place_optimistic_vectorized(
+            problem, vc_sizes, counter, vc_ids, claimed_init
+        )
+    return place_optimistic_scalar(
+        problem, vc_sizes, counter, vc_ids, claimed_init
+    )

@@ -456,6 +456,27 @@ class EpochEngine:
             self.run_epoch(solution, cycles)
         return self.trace
 
+    def reconfigure(self, engine):
+        """Solve this epoch's active problem through *engine* (a
+        :class:`repro.sched.engine.ReconfigEngine`), threading warm solver
+        state across epoch boundaries — the Sec IV-G runtime never solves a
+        frozen problem from scratch.  Returns the
+        :class:`~repro.sched.reconfigure.ReconfigResult`; run it with
+        :meth:`run_epoch`."""
+        return engine.solve(self.current_problem())
+
+    def run_reconfigured(self, engine, cycles: float, n_epochs: int):
+        """Drive *n_epochs* epochs of *cycles* each, reconfiguring through
+        *engine* at every boundary.  Returns the list of
+        :class:`~repro.sched.reconfigure.ReconfigResult` (one per epoch);
+        the IPC trace accumulates in :attr:`trace` as usual."""
+        results = []
+        for _ in range(n_epochs):
+            result = self.reconfigure(engine)
+            self.run_epoch(result.solution, cycles)
+            results.append(result)
+        return results
+
     def mean_ipc_per_thread(self) -> np.ndarray:
         """(T,) cumulative instructions / cycles across all epochs run."""
         return np.divide(

@@ -277,6 +277,8 @@ def test_every_registered_spec_runs_with_json_export(capsys, tmp_path):
         "phase_study": ["--param", "mixes=1"],
         "placers": ["--param", "anneal_rounds=50"],
         "scalability": ["--param", "tiles=16", "--param", "mixes=1"],
+        "solver_study": ["--param", "tiles=16", "--param", "mixes=1",
+                         "--param", "epochs=2"],
         "table3": ["--param", "repeats=1"],
     }
     for name in spec_names():
