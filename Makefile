@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast lint bench-smoke run-smoke bench bench-kernels bench-solver bench-compare docs-check check clean
+.PHONY: test test-fast coverage lint bench-smoke run-smoke bench bench-kernels bench-solver bench-compare docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -16,6 +16,17 @@ test:
 ## The same suite minus the slow end-to-end tests.
 test-fast:
 	$(PYPATH) $(PY) -m pytest -x -q -m "not slow"
+
+## Coverage gate on the scheduler + control-plane layers: the fast suite
+## under pytest-cov with an 80% line floor on repro.sched and
+## repro.service.  Skips with a notice where pytest-cov is not installed
+## (the CI coverage job installs it; see requirements-dev.txt).
+coverage:
+	@$(PYPATH) $(PY) -c "import pytest_cov" >/dev/null 2>&1 || \
+	    { echo "make coverage: pytest-cov not found (pip install pytest-cov); skipping"; exit 0; } ; \
+	$(PYPATH) $(PY) -m pytest -q -m "not slow" \
+	    --cov=repro.sched --cov=repro.service \
+	    --cov-report=term-missing --cov-fail-under=80
 
 ## Static checks: ruff lint rules + formatter drift (see ruff.toml).
 ## Skips with a notice where ruff is not installed (the CI lint step

@@ -20,13 +20,11 @@ scoring) is asserted.  Results are appended to
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
-from conftest import emit
+from conftest import emit, record_bench_entry
 
 from repro.cache.miss_curve import MissCurveBatch
 from repro.config import default_config
@@ -42,12 +40,8 @@ from repro.sched.vc_placement import (
     place_optimistic_scalar,
     place_optimistic_vectorized,
 )
-from repro.workloads.mixes import (
-    random_multithreaded_mix,
-    random_single_threaded_mix,
-)
-
-BENCH_JSON = Path(__file__).parent / "BENCH.json"
+from repro.testing import golden_mix
+from repro.workloads.mixes import random_multithreaded_mix
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -60,21 +54,9 @@ def _best_of(fn, repeats: int = 3) -> float:
     return best
 
 
-def _record_entry(entry: dict) -> None:
-    """Append *entry* to the BENCH.json history (latest last)."""
-    history = {"entries": []}
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text())
-        except json.JSONDecodeError:
-            pass
-    history.setdefault("entries", []).append(entry)
-    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
-
-
 def test_kernel_speedups(once):
     config = default_config()
-    problem = build_problem(config=config, mix=random_single_threaded_mix(64, 42, 0))
+    problem = build_problem(config=config, mix=golden_mix())
     curves = [vc.miss_curve for vc in problem.vcs]
     quanta = problem.total_bytes // problem.quantum
     grid = np.arange(quanta + 1, dtype=np.float64) * problem.quantum
@@ -135,7 +117,7 @@ def test_kernel_speedups(once):
             if multithreaded:
                 mix = random_multithreaded_mix(8, 7, 0)
             else:
-                mix = random_single_threaded_mix(64, 42, 0)
+                mix = golden_mix()
             evaluate_mix(
                 config, mix, SweepResult(n_apps=64, n_mixes=1), seed=0
             )
@@ -153,7 +135,7 @@ def test_kernel_speedups(once):
     )
     emit(f"Kernel speedups (vectorized vs scalar reference):\n{rows}")
 
-    _record_entry(
+    record_bench_entry(
         {
             "bench": "bench_kernels",
             "chip": "64-tile mesh (default_config)",

@@ -1,0 +1,89 @@
+"""Service-load benchmark: the control plane under concurrent tenants.
+
+Beyond-the-paper evidence for the PR 6 control plane: N chips streaming
+telemetry through one :class:`~repro.service.server.CoSchedService`
+concurrently, measured the way a serving system is — requests/sec and
+p50/p99 placement latency — with the determinism contract (no
+degradations, no rejections on a healthy run) asserted alongside.
+
+Appends a ``bench_service`` entry to ``benchmarks/BENCH.json``.  The
+``service_wall_seconds`` leaves gate against a same-host baseline via
+``tools/bench_compare.py``; the latency/throughput numbers are recorded
+for trend-watching but deliberately avoid the gated key patterns (they
+are scheduling-noise sensitive at this scale).
+"""
+
+import os
+import platform
+from datetime import date
+
+from conftest import emit, record_bench_entry
+
+from repro.experiments import format_table
+from repro.service import LoadSpec, run_load
+
+CHIPS = 4
+EPOCHS = 5
+TILES = 16
+
+
+def run_session(strategy: str, dynamism: str):
+    return run_load(LoadSpec(
+        chips=CHIPS, epochs=EPOCHS, tiles=TILES,
+        strategy=strategy, dynamism=dynamism,
+    ))
+
+
+def test_service_load(once):
+    report = once(run_session, "incremental", "phased")
+    full = run_session("full", "phased")
+
+    emit(format_table(
+        ["strategy", "dynamism", "requests", "ok", "degraded", "rejected",
+         "req/s", "p50 ms", "p99 ms"],
+        [
+            ("incremental", "phased", report.requests, report.ok,
+             report.degraded, sum(report.rejected.values()),
+             round(report.requests_per_sec, 1),
+             round(report.p50_latency_ms, 2),
+             round(report.p99_latency_ms, 2)),
+            ("full", "phased", full.requests, full.ok, full.degraded,
+             sum(full.rejected.values()),
+             round(full.requests_per_sec, 1),
+             round(full.p50_latency_ms, 2),
+             round(full.p99_latency_ms, 2)),
+        ],
+        title=f"Service load ({CHIPS} chips x {EPOCHS} epochs, "
+              f"{TILES} tiles)",
+    ))
+
+    # A healthy session serves every request fresh: nothing degrades,
+    # nothing is rejected, every chip gets one placement per epoch.
+    for session in (report, full):
+        assert session.requests == CHIPS * EPOCHS
+        assert session.ok == session.requests
+        assert session.degraded == 0
+        assert session.rejected == {}
+    assert report.p50_latency_ms <= report.p99_latency_ms
+    assert report.requests_per_sec > 0
+
+    record_bench_entry({
+        "bench": "bench_service",
+        "chip": f"{CHIPS}x {TILES}-tile mesh tenants",
+        "recorded": date.today().isoformat(),
+        "host": f"{platform.system()}-{platform.machine()}"
+                f"-{os.cpu_count()}cpu",
+        "metrics": {
+            "requests": report.requests,
+            "incremental_req_per_s": round(report.requests_per_sec, 1),
+            "incremental_p50_latency_ms": round(report.p50_latency_ms, 3),
+            "incremental_p99_latency_ms": round(report.p99_latency_ms, 3),
+            "full_req_per_s": round(full.requests_per_sec, 1),
+            "full_p50_latency_ms": round(full.p50_latency_ms, 3),
+            "full_p99_latency_ms": round(full.p99_latency_ms, 3),
+        },
+        "service_wall_seconds": {
+            "incremental_phased": round(report.wall_seconds, 4),
+            "full_phased": round(full.wall_seconds, 4),
+        },
+    })

@@ -13,38 +13,22 @@ Appends a ``bench_solver`` entry to ``benchmarks/BENCH.json`` whose
 enforces in CI (> 25% slower than the committed baseline fails).
 """
 
-import json
 import os
 import platform
 import time
 from datetime import date
-from pathlib import Path
 
-from conftest import emit
+from conftest import emit, record_bench_entry
 
 from repro.config import default_config
 from repro.experiments import format_table, run_solver_study
 from repro.nuca.base import build_problem
 from repro.sched.reconfigure import reconfigure_epoch
-from repro.workloads.mixes import random_single_threaded_mix
-
-BENCH_JSON = Path(__file__).parent / "BENCH.json"
+from repro.testing import golden_mix
 
 TILES = (16, 64)
 EPOCHS = 4
 N_MIXES = 1
-
-
-def _record_entry(entry: dict) -> None:
-    """Append *entry* to the BENCH.json history (latest last)."""
-    history = {"entries": []}
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text())
-        except json.JSONDecodeError:
-            pass
-    history.setdefault("entries", []).append(entry)
-    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 
 def run(runner=None):
@@ -89,7 +73,7 @@ def test_solver_strategies(once, runner):
         for strategy in ("full", "incremental", "partitioned")
         for dynamism in ("stationary", "phased")
     }
-    _record_entry({
+    record_bench_entry({
         "bench": "bench_solver",
         "chip": "64-tile mesh (scaled_mesh_config)",
         "recorded": date.today().isoformat(),
@@ -112,7 +96,7 @@ def test_solver_strategies(once, runner):
 def test_reconfigure_epoch_problem_reuse(once):
     """Micro-bench: stationary epoch loops stop rebuilding the problem."""
     config = default_config()
-    mix = random_single_threaded_mix(64, 42, 0)
+    mix = golden_mix()
     epochs = 3
 
     def loop(reuse: bool) -> float:

@@ -20,15 +20,19 @@ Emitted tables go to stderr *and* are appended to
 pytest's output capture.
 """
 
-import os
+import json
 import sys
 from pathlib import Path
 
 import pytest
 
-from repro.runner import ProcessPoolRunner, ResultStore
+from repro.runner import ProcessPoolRunner
+from repro.testing import make_runner
+
+__all__ = ["emit", "make_runner", "record_bench_entry"]
 
 RESULTS_PATH = Path(__file__).parent / "benchmark_results.txt"
+BENCH_JSON = Path(__file__).parent / "BENCH.json"
 
 
 def pytest_sessionstart(session):
@@ -42,12 +46,21 @@ def emit(text: str) -> None:
         fh.write(text + "\n")
 
 
-def make_runner() -> ProcessPoolRunner:
-    """Build the benchmark runner from REPRO_JOBS / REPRO_CACHE_DIR."""
-    jobs = int(os.environ.get("REPRO_JOBS", "1"))
-    cache_dir = os.environ.get("REPRO_CACHE_DIR", "")
-    store = ResultStore(cache_dir) if cache_dir else None
-    return ProcessPoolRunner(jobs=jobs, store=store)
+def record_bench_entry(entry: dict) -> None:
+    """Append *entry* to the BENCH.json history (latest last).
+
+    Entries need a ``bench`` name; ``tools/bench_compare.py`` gates the
+    latest entry per name against the baseline (``*second*`` leaves on
+    matching hosts, ``*mcycle*`` leaves everywhere).
+    """
+    history = {"entries": []}
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            pass
+    history.setdefault("entries", []).append(entry)
+    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

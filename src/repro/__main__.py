@@ -83,6 +83,47 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="K=V",
                        help="override one experiment parameter "
                             "(repeatable)")
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async co-scheduling control plane against a "
+             "synthetic tenant fleet and report serving metrics",
+    )
+    p_serve.add_argument("--chips", type=int, default=4, metavar="N",
+                         help="concurrent tenant chips (default 4)")
+    p_serve.add_argument("--epochs", type=int, default=6, metavar="N",
+                         help="reconfigurations per chip (default 6)")
+    p_serve.add_argument("--tiles", type=int, default=16, metavar="N",
+                         help="square tile count per chip (default 16)")
+    p_serve.add_argument("--dynamism", choices=("stationary", "phased"),
+                         default="phased",
+                         help="workload arm (default phased)")
+    p_serve.add_argument("--strategy", default="incremental",
+                         metavar="NAME",
+                         help="solve strategy for every chip's warm "
+                              "engine (default incremental)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker tasks / solve threads (default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=32,
+                         metavar="N",
+                         help="bounded request-queue depth (default 32)")
+    p_serve.add_argument("--solve-timeout-s", type=float, default=None,
+                         metavar="S",
+                         help="per-solve deadline; timed-out chips "
+                              "degrade to last-good (default none)")
+    p_serve.add_argument("--tenant-rate", type=float, default=None,
+                         metavar="R",
+                         help="per-tenant token-bucket refill, requests/s "
+                              "(default: unlimited)")
+    p_serve.add_argument("--tenant-burst", type=float, default=None,
+                         metavar="B",
+                         help="per-tenant burst size (default: rate)")
+    p_serve.add_argument("--seed", type=int, default=42,
+                         help="fleet RNG seed (default 42)")
+    p_serve.add_argument("--format", choices=FORMATS, default="table",
+                         dest="format",
+                         help="output format (default table)")
+    p_serve.add_argument("--out", default=None, metavar="FILE",
+                         help="write the report to FILE instead of stdout")
     for spec in all_specs():
         p_exp = sub.add_parser(
             spec.name, parents=[common],
@@ -192,9 +233,45 @@ def _cmd_list(parser, args) -> int:
     return 0
 
 
+def _cmd_serve(parser, args) -> int:
+    """One control-plane session over a synthetic fleet (in-process)."""
+    from repro.experiments.results import ResultTable
+    from repro.service import LoadSpec, run_load
+
+    try:
+        spec = LoadSpec(
+            chips=args.chips, epochs=args.epochs, tiles=args.tiles,
+            dynamism=args.dynamism, strategy=args.strategy,
+            workers=args.workers, queue_limit=args.queue_limit,
+            solve_timeout_s=args.solve_timeout_s,
+            tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    report = run_load(spec)
+    table = ResultTable.make(
+        title=f"Control plane: {spec.chips} chips x {spec.epochs} epochs "
+              f"on {spec.tiles} tiles ({spec.strategy}, {spec.workers} "
+              f"workers, queue {spec.queue_limit})",
+        headers=("chips", "epochs", "tiles", "strategy", "dynamism",
+                 "requests", "ok", "degraded", "rejected", "req/s",
+                 "p50 ms", "p99 ms"),
+        rows=report.table_rows(),
+    )
+    record = RunRecord(
+        experiment="serve", params=report.spec, tables=(table,),
+    )
+    _emit(record, args.format, args.out)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        # serve is not a registry experiment: no jobs/cache machinery.
+        return _cmd_serve(parser, args)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if not args.no_cache and args.cache_dir:

@@ -78,6 +78,12 @@ from repro.experiments.solver_study import (
     solver_point,
     solver_study_jobs,
 )
+from repro.experiments.service_study import (
+    ServiceStudyResult,
+    run_service_study,
+    service_load_point,
+    service_study_jobs,
+)
 from repro.experiments.reconfig_study import (
     PROTOCOLS,
     PeriodSweepResult,
@@ -129,6 +135,7 @@ __all__ = [
     "RuntimeRow",
     "STRATEGY_SWEEP",
     "ScalabilityResult",
+    "ServiceStudyResult",
     "SolverStudyResult",
     "SweepResult",
     "TILE_POINTS",
@@ -164,11 +171,14 @@ __all__ = [
     "run_placer_comparison",
     "run_reconfig_trace",
     "run_scalability",
+    "run_service_study",
     "run_solver_study",
     "run_sweep",
     "run_table3",
     "scalability_jobs",
     "scalability_point",
+    "service_load_point",
+    "service_study_jobs",
     "solver_point",
     "solver_study_jobs",
     "spec_names",

@@ -23,6 +23,7 @@ so rebuilding a :class:`Mesh` per placement problem costs nothing.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from functools import cached_property
 
@@ -34,6 +35,21 @@ import numpy as np
 #: a fresh topology per mix; at 1024 tiles each argsort alone is a
 #: 1024x1024 stable sort, far too hot to redo per epoch).
 _SHARED_GEOMETRY_CACHE: dict[tuple, dict[str, np.ndarray]] = {}
+
+#: Guards the shared memo.  The co-scheduling service solves concurrent
+#: chips on a thread pool, so two solves may want the same (class, dims)
+#: matrices at once; without the lock both would build (wasting the
+#: hottest precompute and breaking the share-one-array invariant the
+#: isolation tests pin).  An RLock because a build may itself read
+#: another shared matrix (order_matrix builds from distance_matrix).
+_GEOMETRY_LOCK = threading.RLock()
+
+
+def shared_geometry_matrices(key: tuple) -> dict[str, np.ndarray] | None:
+    """The cached matrices for *key* (read-only view for tests/tools)."""
+    with _GEOMETRY_LOCK:
+        slot = _SHARED_GEOMETRY_CACHE.get(key)
+        return dict(slot) if slot is not None else None
 
 
 class Topology(ABC):
@@ -68,12 +84,13 @@ class Topology(ABC):
         key = self._shared_cache_key()
         if key is None:
             return build()
-        slot = _SHARED_GEOMETRY_CACHE.setdefault(key, {})
-        cached = slot.get(name)
-        if cached is None:
-            cached = build()
-            slot[name] = cached
-        return cached
+        with _GEOMETRY_LOCK:
+            slot = _SHARED_GEOMETRY_CACHE.setdefault(key, {})
+            cached = slot.get(name)
+            if cached is None:
+                cached = build()
+                slot[name] = cached
+            return cached
 
     @cached_property
     def distance_matrix(self) -> np.ndarray:

@@ -79,14 +79,7 @@ class SolveStrategy(Protocol):
 
 def _copy_solution(solution: PlacementSolution) -> PlacementSolution:
     """Deep-enough copy so reusing a solution never aliases engine state."""
-    return PlacementSolution(
-        vc_sizes=dict(solution.vc_sizes),
-        vc_allocation={
-            vc_id: dict(per_bank)
-            for vc_id, per_bank in solution.vc_allocation.items()
-        },
-        thread_cores=dict(solution.thread_cores),
-    )
+    return solution.copy()
 
 
 def _full_solve(
@@ -688,6 +681,15 @@ class ReconfigEngine:
             problem=problem, solution=_copy_solution(result.solution)
         )
         return result
+
+    def last_solution(self) -> PlacementSolution | None:
+        """A copy of the most recent solution, or ``None`` before the
+        first solve.  This is the "last good placement" a serving control
+        plane degrades to when a fresh solve times out or fails — the
+        copy means handing it to a client can never corrupt warm state."""
+        if self.state.solution is None:
+            return None
+        return _copy_solution(self.state.solution)
 
     def reset(self) -> None:
         """Drop the warm state (the next solve is a cold start)."""

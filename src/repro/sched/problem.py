@@ -103,6 +103,19 @@ class PlacementSolution:
     #: thread_id -> tile (core) id.
     thread_cores: dict[int, int] = field(default_factory=dict)
 
+    def copy(self) -> "PlacementSolution":
+        """Deep-enough copy: mutating the clone's dicts never touches the
+        original (what warm engines and the serving control plane hand out
+        so callers cannot corrupt retained state)."""
+        return PlacementSolution(
+            vc_sizes=dict(self.vc_sizes),
+            vc_allocation={
+                vc_id: dict(per_bank)
+                for vc_id, per_bank in self.vc_allocation.items()
+            },
+            thread_cores=dict(self.thread_cores),
+        )
+
     def bank_usage(self, tiles: int) -> list[float]:
         """Total bytes placed in each bank."""
         usage = [0.0] * tiles

@@ -1,0 +1,84 @@
+"""Co-scheduling as a service: the async control plane (PR 6).
+
+The batch-shaped reproduction solves one placement problem at a time;
+this package wraps :class:`repro.sched.engine.ReconfigEngine` in a
+long-running asyncio service so "millions of users" becomes a benchmark:
+clients (simulated chips/tenants) stream workload telemetry in — the
+miss curves and phase snapshots a :class:`repro.sim.engine.EpochEngine`
+reads off its monitors — and get placements back from concurrent warm
+engines keyed by chip id.
+
+Layers, bottom-up:
+
+* :mod:`repro.service.messages` — typed requests/replies and the typed
+  error hierarchy (malformed telemetry, queue full, budget exceeded,
+  solve timeout);
+* :mod:`repro.service.budget` — per-tenant token-bucket budgets with an
+  injectable clock (deterministic in tests);
+* :mod:`repro.service.engines` — the warm-engine pool: one
+  :class:`~repro.sched.engine.ReconfigEngine` per chip, per-chip solve
+  locks, last-good placements;
+* :mod:`repro.service.server` — :class:`CoSchedService`: bounded request
+  queue with admission control, worker tasks solving on a thread pool,
+  request timeouts with graceful degradation to the last-good placement;
+* :mod:`repro.service.transport` — the in-process transport and
+  :class:`ServiceClient`, so tests and benchmarks need no network;
+* :mod:`repro.service.load` — the deterministic load/fault harness
+  behind ``python -m repro serve`` and the ``service_load`` experiment.
+
+The contract everything above hangs off: placements returned by the
+service are bitwise-identical to the same telemetry sequence driven
+through ``EpochEngine.run_reconfigured`` with a warm engine (pinned in
+``tests/test_service.py``).
+"""
+
+from repro.service.budget import TokenBucket
+from repro.service.engines import ChipSlot, EnginePool
+from repro.service.load import (
+    FaultPlan,
+    LoadReport,
+    LoadSpec,
+    SlowStrategy,
+    drive_chip,
+    run_load,
+)
+from repro.service.messages import (
+    BudgetExceededError,
+    MalformedTelemetryError,
+    PlacementReply,
+    PlacementRequest,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    SolveFailedError,
+    SolveTimeoutError,
+    validate_telemetry,
+)
+from repro.service.server import CoSchedService, ServiceStats
+from repro.service.transport import InProcessTransport, ServiceClient
+
+__all__ = [
+    "BudgetExceededError",
+    "ChipSlot",
+    "CoSchedService",
+    "EnginePool",
+    "FaultPlan",
+    "InProcessTransport",
+    "LoadReport",
+    "LoadSpec",
+    "MalformedTelemetryError",
+    "PlacementReply",
+    "PlacementRequest",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceStats",
+    "SlowStrategy",
+    "SolveFailedError",
+    "SolveTimeoutError",
+    "TokenBucket",
+    "drive_chip",
+    "run_load",
+    "validate_telemetry",
+]

@@ -1,0 +1,63 @@
+"""Per-tenant token-bucket budgets.
+
+One bucket per tenant caps its placement-request rate: a request costs
+one token, tokens refill continuously at ``refill_per_s`` up to
+``capacity`` (the burst size).  This is the BCache-style per-tenant
+credit scheme: a chatty tenant drains its own bucket and gets typed
+``budget_exceeded`` rejections while everyone else keeps being served.
+
+The clock is injectable so tests drive refill deterministically instead
+of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A continuous-refill token bucket (starts full)."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if refill_per_s < 0:
+            raise ValueError(
+                f"refill rate must be >= 0, got {refill_per_s}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_s
+            )
+        self._last = now
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Spend *tokens* if the bucket holds them; False otherwise."""
+        if tokens <= 0:
+            raise ValueError(f"tokens must be positive, got {tokens}")
+        self._refill()
+        if self._tokens + 1e-12 < tokens:
+            return False
+        self._tokens -= tokens
+        return True

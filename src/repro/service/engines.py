@@ -1,0 +1,114 @@
+"""Warm-engine lifecycle: one :class:`ReconfigEngine` per chip.
+
+The service's whole value is warm state — an engine that has seen a
+chip's previous epochs re-solves only what moved.  The pool owns that
+state: engines are created on a chip's first request, each guarded by an
+asyncio lock so one chip's solves stay strictly sequential (warm state
+must advance in telemetry order; different chips solve concurrently),
+and each slot remembers the last-good placement the server degrades to
+when a fresh solve times out or fails.
+
+Engines for evicted chips (beyond ``max_chips``, least-recently-used
+first) simply cold-start on their next request — correctness never
+depends on warmth, only solve cost does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.sched.engine import ReconfigEngine, SolveStrategy
+from repro.sched.problem import PlacementSolution
+from repro.sched.reconfigure import ReconfigPolicy
+
+
+@dataclass
+class ChipSlot:
+    """One chip's serving state: warm engine + solve lock + last-good."""
+
+    chip_id: str
+    engine: ReconfigEngine
+    #: Serializes solves for this chip; the worker holds it for the whole
+    #: solve, including an abandoned (timed-out) one, so a later request
+    #: can never race a solve still running on the executor.
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: Solves completed (cold + warm) — the service-side epoch counter.
+    epochs: int = 0
+    #: Replies served from the last-good placement instead of a solve.
+    degraded: int = 0
+
+    def last_good(self) -> PlacementSolution | None:
+        """A copy of the newest placement this chip was ever served."""
+        return self.engine.last_solution()
+
+
+class EnginePool:
+    """Keyed warm engines: ``pool.slot(chip_id)`` creates on first use.
+
+    *strategy* (name or ready :class:`SolveStrategy` instance), *policy*,
+    and *strategy_kwargs* configure every chip's engine identically — the
+    equivalence contract requires a chip served here to see exactly the
+    engine a standalone ``ReconfigEngine(strategy)`` would be.  With
+    *max_chips* set, the least-recently-used idle slot is dropped when a
+    new chip would exceed it (a busy slot — lock held — is never
+    evicted).
+    """
+
+    def __init__(
+        self,
+        strategy: str | SolveStrategy = "incremental",
+        policy: ReconfigPolicy | None = None,
+        max_chips: int | None = None,
+        **strategy_kwargs,
+    ):
+        if max_chips is not None and max_chips < 1:
+            raise ValueError(f"max_chips must be >= 1, got {max_chips}")
+        self._strategy = strategy
+        self._policy = policy
+        self._strategy_kwargs = dict(strategy_kwargs)
+        self.max_chips = max_chips
+        #: Insertion order doubles as recency order (moved on access).
+        self._slots: dict[str, ChipSlot] = {}
+
+    def _make_engine(self) -> ReconfigEngine:
+        if isinstance(self._strategy, str):
+            return ReconfigEngine(
+                self._strategy,
+                policy=self._policy,
+                **self._strategy_kwargs,
+            )
+        # A ready strategy instance is shared across chips: strategies
+        # are stateless (all warm state lives in the engine), so sharing
+        # is safe and lets tests inject fault wrappers once.
+        return ReconfigEngine(self._strategy, policy=self._policy)
+
+    def slot(self, chip_id: str) -> ChipSlot:
+        """The chip's slot, created (and possibly evicting) on first use."""
+        existing = self._slots.pop(chip_id, None)
+        if existing is not None:
+            self._slots[chip_id] = existing  # refresh recency
+            return existing
+        if self.max_chips is not None and len(self._slots) >= self.max_chips:
+            self._evict_one()
+        slot = ChipSlot(chip_id=chip_id, engine=self._make_engine())
+        self._slots[chip_id] = slot
+        return slot
+
+    def _evict_one(self) -> None:
+        for chip_id, slot in self._slots.items():
+            if not slot.lock.locked():
+                del self._slots[chip_id]
+                return
+        # Every slot is mid-solve: admit the newcomer anyway rather than
+        # reject — max_chips bounds warm memory, not correctness.
+
+    def chips(self) -> list[str]:
+        """Chip ids currently holding a warm engine (oldest first)."""
+        return list(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, chip_id: str) -> bool:
+        return chip_id in self._slots

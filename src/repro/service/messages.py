@@ -1,0 +1,159 @@
+"""Typed service messages and the typed error hierarchy.
+
+The wire format of the control plane is plain dataclasses: the
+in-process transport passes them by reference, and every failure mode a
+client can hit is a distinct :class:`ServiceError` subclass with a
+stable ``code`` string — tests and callers dispatch on the type (or the
+code), never on message text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sched.problem import PlacementProblem, PlacementSolution
+
+
+class ServiceError(Exception):
+    """Base of every typed control-plane failure."""
+
+    code = "service_error"
+
+
+class MalformedTelemetryError(ServiceError):
+    """The request failed validation before touching an engine."""
+
+    code = "malformed_telemetry"
+
+
+class AdmissionError(ServiceError):
+    """Rejected at the door (queue or budget), nothing was solved."""
+
+    code = "admission_rejected"
+
+
+class QueueFullError(AdmissionError):
+    """The bounded request queue is at capacity."""
+
+    code = "queue_full"
+
+
+class BudgetExceededError(AdmissionError):
+    """The tenant's token bucket has no credit for this request."""
+
+    code = "budget_exceeded"
+
+
+class SolveTimeoutError(ServiceError):
+    """The solve overran its deadline and no last-good placement exists."""
+
+    code = "solve_timeout"
+
+
+class SolveFailedError(ServiceError):
+    """The engine raised mid-solve and no last-good placement exists."""
+
+    code = "solve_failed"
+
+
+class ServiceClosedError(ServiceError):
+    """The service is not accepting requests (stopped or never started)."""
+
+    code = "service_closed"
+
+
+@dataclass
+class PlacementRequest:
+    """One epoch's telemetry from a chip: "here is what my monitors see,
+    where should data and threads go for the coming interval?"
+
+    *problem* is the chip's active placement problem — the VCs with their
+    current miss curves and access rates plus the thread list, exactly
+    what :meth:`repro.sim.engine.EpochEngine.current_problem` snapshots
+    at an epoch boundary.  *epoch* is the client's own counter, echoed
+    back so replies can be matched under pipelining.  *timeout_s*
+    overrides the service's default solve deadline for this request.
+    """
+
+    chip_id: str
+    problem: PlacementProblem
+    epoch: int = 0
+    timeout_s: float | None = None
+
+
+@dataclass
+class PlacementReply:
+    """The control plane's answer to one :class:`PlacementRequest`.
+
+    ``status`` is ``"ok"`` for a fresh solve and ``"degraded"`` when the
+    service fell back to the chip's last-good placement (solve timeout or
+    mid-solve failure; ``error`` then carries the triggering code).  The
+    solution is always a private copy — mutating it never corrupts the
+    warm engine behind it.
+    """
+
+    chip_id: str
+    epoch: int
+    status: str
+    solution: PlacementSolution
+    strategy: str = ""
+    modeled_mcycles: float = 0.0
+    latency_s: float = 0.0
+    error: str | None = None
+    #: Strategy-reported step cycles (empty for degraded replies).
+    step_cycles: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def validate_telemetry(request: object) -> PlacementRequest:
+    """Admission-time validation: returns the request or raises
+    :class:`MalformedTelemetryError`.
+
+    Catches the garbage a misbehaving client can send before it reaches
+    a warm engine: wrong payload types, an empty thread list, thread
+    access maps referencing VCs the telemetry never described, or more
+    threads than the chip has cores.  (A well-formed
+    :class:`~repro.sched.problem.PlacementProblem` already enforced its
+    own invariants at construction; these checks are for payloads that
+    never went through that constructor.)
+    """
+    if not isinstance(request, PlacementRequest):
+        raise MalformedTelemetryError(
+            f"expected PlacementRequest, got {type(request).__name__}"
+        )
+    if not isinstance(request.chip_id, str) or not request.chip_id:
+        raise MalformedTelemetryError(
+            f"chip_id must be a non-empty string, got {request.chip_id!r}"
+        )
+    problem = request.problem
+    if not isinstance(problem, PlacementProblem):
+        raise MalformedTelemetryError(
+            f"telemetry payload must be a PlacementProblem, "
+            f"got {type(problem).__name__}"
+        )
+    if not problem.threads:
+        raise MalformedTelemetryError(
+            f"chip {request.chip_id}: telemetry describes no threads"
+        )
+    if len(problem.threads) > problem.topology.tiles:
+        raise MalformedTelemetryError(
+            f"chip {request.chip_id}: {len(problem.threads)} threads "
+            f"exceed {problem.topology.tiles} cores"
+        )
+    known_vcs = {vc.vc_id for vc in problem.vcs}
+    for thread in problem.threads:
+        unknown = set(thread.vc_accesses) - known_vcs
+        if unknown:
+            raise MalformedTelemetryError(
+                f"chip {request.chip_id}: thread {thread.thread_id} "
+                f"references unknown VCs {sorted(unknown)}"
+            )
+    if request.timeout_s is not None and request.timeout_s <= 0:
+        raise MalformedTelemetryError(
+            f"chip {request.chip_id}: timeout_s must be positive, "
+            f"got {request.timeout_s!r}"
+        )
+    return request

@@ -1,0 +1,108 @@
+"""In-process transport and the simple client.
+
+The control plane's transport is deliberately minimal: a transport is
+anything with ``async request(PlacementRequest) -> PlacementReply``.
+:class:`InProcessTransport` binds that to a local
+:class:`~repro.service.server.CoSchedService` — requests pass by
+reference through the service's bounded queue, so tests and benchmarks
+exercise the full admission/queue/worker/timeout path with no network
+and no serialization.  A socket transport would slot in behind the same
+client unchanged.
+
+:class:`ServiceClient` is one tenant's view: it stamps the chip id and a
+monotonically increasing epoch on every request, optionally retries
+queue-full rejections (the one admission error that is about *service*
+pressure, not about this tenant misbehaving), and offers
+:func:`ServiceClient.drive` — the telemetry loop a simulated chip runs,
+shaped exactly like ``EpochEngine.run_reconfigured``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.messages import (
+    PlacementReply,
+    PlacementRequest,
+    QueueFullError,
+)
+from repro.service.server import CoSchedService
+
+
+class InProcessTransport:
+    """Binds a client to a service living in the same event loop."""
+
+    def __init__(self, service: CoSchedService):
+        self.service = service
+
+    async def request(self, request: PlacementRequest) -> PlacementReply:
+        return await self.service.submit(request)
+
+
+class ServiceClient:
+    """One tenant's handle on the control plane.
+
+    *retries*/*retry_delay_s* apply only to
+    :class:`~repro.service.messages.QueueFullError`: the client backs
+    off and resubmits, so transient pressure does not kill a well-behaved
+    tenant.  Every other typed error propagates immediately.
+    """
+
+    def __init__(
+        self,
+        transport: InProcessTransport | CoSchedService,
+        chip_id: str,
+        retries: int = 0,
+        retry_delay_s: float = 0.005,
+    ):
+        if isinstance(transport, CoSchedService):
+            transport = InProcessTransport(transport)
+        self.transport = transport
+        self.chip_id = chip_id
+        self.retries = retries
+        self.retry_delay_s = retry_delay_s
+        self.epoch = 0
+        self.replies: list[PlacementReply] = []
+
+    async def place(
+        self, problem, timeout_s: float | None = None
+    ) -> PlacementReply:
+        """Send one epoch's telemetry; returns (and records) the reply."""
+        request = PlacementRequest(
+            chip_id=self.chip_id,
+            problem=problem,
+            epoch=self.epoch,
+            timeout_s=timeout_s,
+        )
+        attempt = 0
+        while True:
+            try:
+                reply = await self.transport.request(request)
+                break
+            except QueueFullError:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                await asyncio.sleep(self.retry_delay_s)
+        self.epoch += 1
+        self.replies.append(reply)
+        return reply
+
+    async def drive(
+        self, sim, epoch_cycles: float, n_epochs: int
+    ) -> list[PlacementReply]:
+        """Run *sim* (an :class:`~repro.sim.engine.EpochEngine`) for
+        *n_epochs*, reconfiguring through the service at every boundary.
+
+        This is ``EpochEngine.run_reconfigured`` with the warm engine on
+        the far side of the control plane: snapshot the active problem,
+        request a placement, run the epoch under whatever came back
+        (fresh or degraded).  The bitwise-equivalence pin compares the
+        replies of this loop against the local engine's results.
+        """
+        replies = []
+        for _ in range(n_epochs):
+            reply = await self.place(sim.current_problem())
+            sim.run_epoch(reply.solution, epoch_cycles)
+            replies.append(reply)
+        return replies

@@ -13,7 +13,7 @@ The load-bearing contracts (ISSUE 5 acceptance):
 
 import pytest
 
-from repro.config import default_config, small_test_config
+from repro.config import small_test_config
 from repro.nuca.base import build_problem
 from repro.sched.engine import (
     IncrementalSolve,
@@ -25,33 +25,13 @@ from repro.sched.engine import (
 )
 from repro.sched.reconfigure import ReconfigPolicy, reconfigure
 from repro.sched.thread_placement import random_thread_placement
+from repro.testing import (
+    GOLDEN_MIX as GOLDEN,
+    assert_bitwise_equal,
+    golden_problem,
+    small_problem,
+)
 from repro.workloads.mixes import random_single_threaded_mix
-
-#: The golden fig11 mix: 64 single-threaded apps on the paper's 64-tile
-#: chip (the same point tests/golden/fig11_mix0.json pins).
-GOLDEN = dict(n_apps=64, seed=42, mix_id=0)
-
-
-def golden_problem():
-    return build_problem(
-        random_single_threaded_mix(**GOLDEN), default_config()
-    )
-
-
-def small_problem(apps=16, side=4):
-    config = small_test_config(side, side)
-    return build_problem(
-        random_single_threaded_mix(apps, 42, 0), config
-    ), config
-
-
-def assert_bitwise_equal(result, reference):
-    """Solutions and op counts exactly equal — the `==` contract."""
-    assert result.solution.vc_sizes == reference.solution.vc_sizes
-    assert result.solution.vc_allocation == reference.solution.vc_allocation
-    assert result.solution.thread_cores == reference.solution.thread_cores
-    assert result.counter.ops == reference.counter.ops
-    assert result.step_cycles() == reference.step_cycles()
 
 
 # -- degenerate equivalence (the pinned contracts) --------------------------

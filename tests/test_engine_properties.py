@@ -1,0 +1,144 @@
+"""Property sweep over the engine's degenerate-equivalence contracts.
+
+``tests/test_engine.py`` pins the contracts on hand-picked points; this
+module sweeps them over ~50 seeded random (mesh, mix, dynamism) cases:
+
+* ``incremental`` with ``dirty_threshold=0`` and ``partitioned`` with one
+  region are bitwise-equal to ``full`` at *every* epoch of a warm loop,
+  not just cold;
+* warm-engine state never aliases caller-visible arrays — mutating a
+  returned (or ``last_solution``) placement cannot corrupt later solves.
+
+The sweep is deterministic: cases are drawn once from a fixed master
+seed, so a failure reproduces by its parametrize id.
+"""
+
+import random
+
+import pytest
+
+from repro.config import small_test_config
+from repro.nuca.base import build_problem
+from repro.sched.engine import ReconfigEngine
+from repro.sim.engine import EpochEngine
+from repro.testing import assert_bitwise_equal, small_problem
+from repro.workloads.mixes import (
+    random_phased_mix,
+    random_single_threaded_mix,
+)
+
+EPOCHS = 3
+EPOCH_CYCLES = 200e6
+
+#: Strategy arms that must collapse to the full pipeline bit-for-bit.
+DEGENERATE = (
+    ("incremental", {"dirty_threshold": 0.0}),
+    ("partitioned", {"regions": 1}),
+)
+
+
+def _draw_cases(count: int, master_seed: int = 20260807):
+    """*count* random (side, apps, seed, mix_id, phased) tuples."""
+    rng = random.Random(master_seed)
+    cases = []
+    for _ in range(count):
+        side = rng.choice((2, 4, 4, 4, 8))
+        apps = rng.randint(2, side * side)
+        cases.append((
+            side,
+            apps,
+            rng.randint(0, 9999),
+            rng.randint(0, 7),
+            rng.random() < 0.5,
+        ))
+    return cases
+
+
+CASES = _draw_cases(50)
+
+
+def _case_id(case) -> str:
+    side, apps, seed, mix_id, phased = case
+    arm = "phased" if phased else "stationary"
+    return f"{side}x{side}-{apps}a-s{seed}-m{mix_id}-{arm}"
+
+
+def _build_sim(side, apps, seed, mix_id, phased) -> EpochEngine:
+    config = small_test_config(side, side)
+    if phased:
+        mix = random_phased_mix(apps, seed, mix_id)
+    else:
+        mix = random_single_threaded_mix(apps, seed, mix_id)
+    return EpochEngine(mix, build_problem(mix, config))
+
+
+@pytest.mark.parametrize("case", CASES, ids=_case_id)
+def test_degenerate_strategies_bitwise_equal_full(case):
+    """threshold=0 / regions=1 match ``full`` at every warm epoch."""
+    reference = _build_sim(*case).run_reconfigured(
+        ReconfigEngine("full"), EPOCH_CYCLES, EPOCHS
+    )
+    for strategy, kwargs in DEGENERATE:
+        results = _build_sim(*case).run_reconfigured(
+            ReconfigEngine(strategy, **kwargs), EPOCH_CYCLES, EPOCHS
+        )
+        assert len(results) == len(reference)
+        for got, want in zip(results, reference):
+            # Op counts differ (the degenerate strategies still pay
+            # their bookkeeping); the *placements* must be identical.
+            assert got.solution.vc_sizes == want.solution.vc_sizes
+            assert (got.solution.vc_allocation
+                    == want.solution.vc_allocation)
+            assert got.solution.thread_cores == want.solution.thread_cores
+
+
+@pytest.mark.parametrize("strategy", ("full", "incremental", "partitioned"))
+def test_warm_state_never_aliases_returned_solutions(strategy):
+    """Corrupting a returned placement must not change later solves."""
+    problem, _ = small_problem()
+    clean = ReconfigEngine(strategy)
+    dirty = ReconfigEngine(strategy)
+
+    clean.solve(problem)  # keep both engines equally warm
+    first = dirty.solve(problem)
+    # The caller goes rogue: scribble over every mapping in the reply.
+    for vc_id in list(first.solution.vc_sizes):
+        first.solution.vc_sizes[vc_id] = -1
+    for per_bank in first.solution.vc_allocation.values():
+        for bank in list(per_bank):
+            per_bank[bank] = -1
+    for thread_id in list(first.solution.thread_cores):
+        first.solution.thread_cores[thread_id] = -1
+
+    # Warm state must be untouched: the next solve matches an engine
+    # whose results were never mutated.
+    assert_bitwise_equal(dirty.solve(problem), clean.solve(problem))
+
+
+@pytest.mark.parametrize("strategy", ("full", "incremental", "partitioned"))
+def test_last_solution_is_a_detached_copy(strategy):
+    problem, _ = small_problem()
+    engine = ReconfigEngine(strategy)
+    result = engine.solve(problem)
+
+    snap = engine.last_solution()
+    assert snap is not result.solution
+    assert snap.vc_sizes == result.solution.vc_sizes
+    assert snap.vc_allocation == result.solution.vc_allocation
+    assert snap.thread_cores == result.solution.thread_cores
+    # Distinct containers all the way down.
+    for vc_id in snap.vc_allocation:
+        assert (snap.vc_allocation[vc_id]
+                is not result.solution.vc_allocation[vc_id])
+
+    snap.vc_sizes.clear()
+    snap.thread_cores.clear()
+    for per_bank in snap.vc_allocation.values():
+        per_bank.clear()
+    untouched = ReconfigEngine(strategy)
+    untouched.solve(problem)  # same warmth as `engine`
+    assert_bitwise_equal(engine.solve(problem), untouched.solve(problem))
+
+
+def test_last_solution_none_before_first_solve():
+    assert ReconfigEngine("full").last_solution() is None

@@ -65,6 +65,7 @@ from repro.sched.vc_placement import (
     place_optimistic_scalar,
     place_optimistic_vectorized,
 )
+from repro.testing import golden_mix
 from repro.workloads.mixes import (
     make_mix,
     random_multithreaded_mix,
@@ -296,7 +297,7 @@ def fig11_mix0_record() -> dict:
     from repro.experiments.sweeps import mix_record
 
     config = default_config()
-    mix = random_single_threaded_mix(64, 42, 0)
+    mix = golden_mix()
     result = SweepResult(n_apps=64, n_mixes=1)
     evaluate_mix(config, mix, result, seed=0)
     return mix_record(result)

@@ -1,0 +1,284 @@
+"""The co-scheduling control plane (repro.service): the equivalence pin
+and the unit contracts of its parts.
+
+The load-bearing contract (ISSUE 6 acceptance): placements returned by
+the service are **bitwise-identical** to the same telemetry sequence
+driven through ``EpochEngine.run_reconfigured`` with a local warm
+engine — the service adds availability semantics, never different
+answers.  Alongside it: telemetry validation, token-bucket budgets,
+engine-pool lifecycle, and reply/stats plumbing.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.nuca.base import build_problem
+from repro.sched.engine import ReconfigEngine
+from repro.service import (
+    BudgetExceededError,
+    CoSchedService,
+    EnginePool,
+    MalformedTelemetryError,
+    PlacementRequest,
+    ServiceClient,
+    ServiceClosedError,
+    TokenBucket,
+    validate_telemetry,
+)
+from repro.service.load import SlowStrategy
+from repro.service.server import ServiceStats
+from repro.sim.engine import EpochEngine
+from repro.testing import small_problem
+from repro.workloads.mixes import random_phased_mix
+
+EPOCHS = 5
+EPOCH_CYCLES = 200e6
+
+
+def _sim(apps=8, seed=42, mix_id=0):
+    from repro.config import small_test_config
+
+    mix = random_phased_mix(apps, seed, mix_id)
+    config = small_test_config(4, 4)
+    return EpochEngine(mix, build_problem(mix, config))
+
+
+# -- the bitwise-equivalence pin --------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ("full", "incremental", "partitioned"))
+def test_service_replies_bitwise_match_run_reconfigured(strategy):
+    local = _sim()
+    reference = local.run_reconfigured(
+        ReconfigEngine(strategy), EPOCH_CYCLES, EPOCHS
+    )
+
+    async def serve():
+        sim = _sim()
+        async with CoSchedService(strategy=strategy) as service:
+            replies = await ServiceClient(service, "chip-0").drive(
+                sim, EPOCH_CYCLES, EPOCHS
+            )
+        return replies, sim
+
+    replies, sim = asyncio.run(serve())
+    assert len(replies) == len(reference)
+    for reply, want in zip(replies, reference):
+        assert reply.ok and reply.status == "ok"
+        assert reply.strategy == strategy
+        assert reply.solution.vc_sizes == want.solution.vc_sizes
+        assert reply.solution.vc_allocation == want.solution.vc_allocation
+        assert reply.solution.thread_cores == want.solution.thread_cores
+        assert reply.step_cycles == want.step_cycles()
+        assert reply.modeled_mcycles == want.modeled_cycles() / 1e6
+    # Identical placements drive identical simulations.
+    assert np.array_equal(
+        local.mean_ipc_per_thread(), sim.mean_ipc_per_thread()
+    )
+
+
+def test_service_place_convenience_and_stats():
+    problem, _ = small_problem(apps=8)
+
+    async def scenario():
+        async with CoSchedService(strategy="full") as service:
+            reply = await service.place("solo", problem)
+            snap = service.stats.snapshot()
+        return reply, snap
+
+    reply, snap = asyncio.run(scenario())
+    assert reply.ok and reply.chip_id == "solo"
+    assert reply.latency_s > 0
+    assert snap["submitted"] == snap["completed"] == 1
+    assert snap["degraded"] == snap["timeouts"] == 0
+    assert snap["rejected"] == {}
+    assert 0 < snap["p50_latency_s"] <= snap["p99_latency_s"]
+
+
+def test_submit_outside_lifecycle_raises_service_closed():
+    problem, _ = small_problem(apps=4)
+    service = CoSchedService()
+    request = PlacementRequest(chip_id="early", problem=problem)
+    with pytest.raises(ServiceClosedError) as err:
+        service.submit(request)
+    assert err.value.code == "service_closed"
+
+    async def start_stop():
+        async with service:
+            pass
+
+    asyncio.run(start_stop())
+    with pytest.raises(ServiceClosedError):
+        service.submit(request)
+
+
+# -- telemetry validation ----------------------------------------------------
+
+
+def test_validate_telemetry_accepts_real_problem():
+    problem, _ = small_problem(apps=4)
+    validate_telemetry(PlacementRequest(chip_id="ok", problem=problem))
+
+
+@pytest.mark.parametrize("request_builder", (
+    lambda p: "not a request at all",
+    lambda p: PlacementRequest(chip_id="", problem=p),
+    lambda p: PlacementRequest(chip_id=123, problem=p),
+    lambda p: PlacementRequest(chip_id="c", problem="garbage"),
+    lambda p: PlacementRequest(chip_id="c", problem=p, timeout_s=0.0),
+    lambda p: PlacementRequest(chip_id="c", problem=p, timeout_s=-1.0),
+), ids=(
+    "not-a-request", "empty-chip-id", "non-str-chip-id",
+    "non-problem-payload", "zero-timeout", "negative-timeout",
+))
+def test_validate_telemetry_rejects_malformed(request_builder):
+    problem, _ = small_problem(apps=4)
+    with pytest.raises(MalformedTelemetryError) as err:
+        validate_telemetry(request_builder(problem))
+    assert err.value.code == "malformed_telemetry"
+
+
+def test_validate_telemetry_rejects_doctored_problems():
+    import dataclasses
+
+    problem, _ = small_problem(apps=4)
+    no_threads = dataclasses.replace(problem, threads=[])
+    with pytest.raises(MalformedTelemetryError, match="no threads"):
+        validate_telemetry(
+            PlacementRequest(chip_id="c", problem=no_threads)
+        )
+
+    rogue = dataclasses.replace(
+        problem.threads[0],
+        vc_accesses={**problem.threads[0].vc_accesses, 9999: 1.0},
+    )
+    bad_refs = dataclasses.replace(
+        problem, threads=[rogue] + problem.threads[1:]
+    )
+    with pytest.raises(MalformedTelemetryError, match="unknown VCs"):
+        validate_telemetry(PlacementRequest(chip_id="c", problem=bad_refs))
+
+
+# -- token buckets -----------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_token_bucket_starts_full_and_refills_continuously():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=2, refill_per_s=1, clock=clock)
+    assert bucket.try_take()
+    assert bucket.try_take()
+    assert not bucket.try_take()  # burst exhausted
+    clock.advance(0.5)
+    assert not bucket.try_take()  # half a token is not a token
+    clock.advance(0.5)
+    assert bucket.try_take()
+    clock.advance(100.0)
+    assert bucket.available == pytest.approx(2.0)  # capped at capacity
+
+
+def test_token_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=0, refill_per_s=1)
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=1, refill_per_s=-1)
+    bucket = TokenBucket(capacity=1, refill_per_s=1)
+    with pytest.raises(ValueError):
+        bucket.try_take(0)
+
+
+def test_service_budget_rejections_are_typed_and_per_tenant():
+    problem, _ = small_problem(apps=8)
+    clock = FakeClock()
+
+    async def scenario():
+        async with CoSchedService(
+            strategy="full", tenant_rate=1.0, tenant_burst=1.0,
+            clock=clock,
+        ) as service:
+            first = await service.place("greedy", problem)
+            with pytest.raises(BudgetExceededError) as err:
+                await service.place("greedy", problem)
+            # Another tenant has its own bucket and is still served.
+            other = await service.place("patient", problem)
+            # Refill restores the greedy tenant too.
+            clock.advance(1.0)
+            again = await service.place("greedy", problem)
+            return first, err.value, other, again, service.stats
+
+    first, error, other, again, stats = asyncio.run(scenario())
+    assert first.ok and other.ok and again.ok
+    assert error.code == "budget_exceeded"
+    assert stats.rejected == {"budget_exceeded": 1}
+
+
+# -- engine pool -------------------------------------------------------------
+
+
+def test_engine_pool_creates_one_warm_engine_per_chip():
+    async def scenario():
+        pool = EnginePool(strategy="incremental")
+        a = pool.slot("a")
+        b = pool.slot("b")
+        assert pool.slot("a") is a
+        assert a.engine is not b.engine
+        assert a.last_good() is None
+        return pool
+
+    pool = asyncio.run(scenario())
+    assert len(pool) == 2 and "a" in pool and "b" in pool
+
+
+def test_engine_pool_evicts_least_recently_used():
+    async def scenario():
+        pool = EnginePool(strategy="full", max_chips=2)
+        pool.slot("a")
+        pool.slot("b")
+        pool.slot("a")  # refresh a: b is now the LRU
+        pool.slot("c")
+        assert pool.chips() == ["a", "c"]
+        # A busy (locked) slot is skipped; the next idle one goes.
+        slot_a = pool.slot("a")
+        async with slot_a.lock:
+            pool.slot("d")
+            assert "a" in pool and "c" not in pool
+
+    asyncio.run(scenario())
+
+
+def test_engine_pool_shares_injected_strategy_instance():
+    shared = SlowStrategy("full", delay_s=0.0)
+    pool = EnginePool(strategy=shared)
+    assert pool.slot("x").engine.strategy is shared
+    assert pool.slot("y").engine.strategy is shared
+
+
+def test_engine_pool_rejects_bad_max_chips():
+    with pytest.raises(ValueError):
+        EnginePool(max_chips=0)
+
+
+# -- stats -------------------------------------------------------------------
+
+
+def test_stats_latency_percentiles():
+    stats = ServiceStats()
+    stats.latencies = [0.01 * i for i in range(1, 101)]  # 0.01..1.00
+    assert stats.latency_percentile(0.50) == pytest.approx(0.50)
+    assert stats.latency_percentile(0.99) == pytest.approx(0.99)
+    assert stats.latency_percentile(1.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        stats.latency_percentile(0.0)
+    assert ServiceStats().latency_percentile(0.5) == 0.0

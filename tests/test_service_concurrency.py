@@ -1,0 +1,148 @@
+"""Tenant isolation under concurrency (ISSUE 6 satellite).
+
+N async clients interleaving through one service must each receive
+exactly the placements they would get running alone: engines are keyed
+per chip, solves for one chip are serialized by its slot lock, and the
+process-wide geometry cache tolerates concurrent thread-pool solves.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import small_test_config
+from repro.geometry.mesh import Mesh, shared_geometry_matrices
+from repro.nuca.base import build_problem
+from repro.sched.engine import ReconfigEngine
+from repro.service import CoSchedService, PlacementRequest, ServiceClient
+from repro.sim.engine import EpochEngine
+from repro.workloads.mixes import random_phased_mix
+
+EPOCHS = 4
+EPOCH_CYCLES = 200e6
+CHIPS = 4
+
+
+def _sim(mix_id: int, side: int = 4) -> EpochEngine:
+    mix = random_phased_mix(8, 42, mix_id)
+    config = small_test_config(side, side)
+    return EpochEngine(mix, build_problem(mix, config))
+
+
+def _solo_reference(mix_id: int, strategy: str, side: int = 4):
+    return _sim(mix_id, side).run_reconfigured(
+        ReconfigEngine(strategy), EPOCH_CYCLES, EPOCHS
+    )
+
+
+def _assert_matches_solo(replies, reference):
+    assert len(replies) == len(reference)
+    for reply, want in zip(replies, reference):
+        assert reply.ok
+        assert reply.solution.vc_sizes == want.solution.vc_sizes
+        assert reply.solution.vc_allocation == want.solution.vc_allocation
+        assert reply.solution.thread_cores == want.solution.thread_cores
+
+
+@pytest.mark.parametrize("strategy", ("incremental", "partitioned"))
+def test_interleaved_tenants_match_solo_runs(strategy):
+    """Concurrent tenants see zero cross-tenant bleed in warm engines."""
+
+    async def serve_fleet():
+        async with CoSchedService(
+            strategy=strategy, workers=CHIPS
+        ) as service:
+            clients = [
+                ServiceClient(service, f"chip-{i}") for i in range(CHIPS)
+            ]
+            fleet = await asyncio.gather(*[
+                client.drive(_sim(i), EPOCH_CYCLES, EPOCHS)
+                for i, client in enumerate(clients)
+            ])
+            slots = {
+                chip: service.pool.slot(chip)
+                for chip in service.pool.chips()
+            }
+        return fleet, slots
+
+    fleet, slots = asyncio.run(serve_fleet())
+    for mix_id, replies in enumerate(fleet):
+        _assert_matches_solo(replies, _solo_reference(mix_id, strategy))
+    # One warm engine per chip, each having advanced exactly its own
+    # tenant's epochs.
+    assert sorted(slots) == [f"chip-{i}" for i in range(CHIPS)]
+    assert all(slot.epochs == EPOCHS for slot in slots.values())
+    engines = [slot.engine for slot in slots.values()]
+    assert len({id(engine) for engine in engines}) == CHIPS
+
+
+def test_mixed_geometries_share_the_process_cache_safely():
+    """Chips on different mesh sizes solve concurrently; each still
+    matches its solo run and the shared geometry cache holds both."""
+    sides = (4, 4, 8, 8)
+
+    async def serve_fleet():
+        async with CoSchedService(
+            strategy="incremental", workers=len(sides)
+        ) as service:
+            return await asyncio.gather(*[
+                ServiceClient(service, f"chip-{i}").drive(
+                    _sim(i, side), EPOCH_CYCLES, EPOCHS
+                )
+                for i, side in enumerate(sides)
+            ])
+
+    fleet = asyncio.run(serve_fleet())
+    for i, (side, replies) in enumerate(zip(sides, fleet)):
+        _assert_matches_solo(
+            replies, _solo_reference(i, "incremental", side)
+        )
+    for side in set(sides):
+        cached = shared_geometry_matrices(("Mesh", side, side))
+        assert cached is not None and cached  # both geometries cached
+
+
+def test_shared_geometry_accessor_returns_a_detached_mapping():
+    _ = Mesh(4, 4).distance_matrix  # ensure the slot exists
+    first = shared_geometry_matrices(("Mesh", 4, 4))
+    assert first
+    first.clear()  # caller-side mutation of the mapping...
+    again = shared_geometry_matrices(("Mesh", 4, 4))
+    assert again  # ...never empties the cache slot
+    assert shared_geometry_matrices(("Mesh", 999, 999)) is None
+
+
+def test_same_chip_requests_are_served_in_submission_order():
+    """Back-to-back requests from one chip pipeline through its slot
+    lock in FIFO order — the warm engine advances in telemetry order
+    even when the client does not await between submissions."""
+    reference = _solo_reference(0, "incremental")
+
+    # Capture the exact telemetry sequence the solo run produces, then
+    # replay it as one un-awaited burst.
+    problems = []
+    probe = _sim(0)
+    local = ReconfigEngine("incremental")
+    for _ in range(EPOCHS):
+        problem = probe.current_problem()
+        problems.append(problem)
+        probe.run_epoch(local.solve(problem).solution, EPOCH_CYCLES)
+
+    async def burst():
+        async with CoSchedService(
+            strategy="incremental", workers=2
+        ) as service:
+            futures = [
+                service.submit(PlacementRequest(
+                    chip_id="burst", problem=problem, epoch=i
+                ))
+                for i, problem in enumerate(problems)
+            ]
+            return await asyncio.gather(*futures)
+
+    replies = asyncio.run(burst())
+    for reply, want in zip(replies, reference):
+        assert reply.ok
+        assert reply.solution.vc_sizes == want.solution.vc_sizes
+        assert reply.solution.vc_allocation == want.solution.vc_allocation
+        assert reply.solution.thread_cores == want.solution.thread_cores
