@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast coverage lint bench-smoke run-smoke bench bench-kernels bench-solver bench-compare docs-check check clean
+.PHONY: test test-fast coverage lint bench-smoke run-smoke bench bench-kernels bench-solver bench-solver-scale bench-compare docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -17,15 +17,16 @@ test:
 test-fast:
 	$(PYPATH) $(PY) -m pytest -x -q -m "not slow"
 
-## Coverage gate on the scheduler + control-plane layers: the fast suite
-## under pytest-cov with an 80% line floor on repro.sched and
-## repro.service.  Skips with a notice where pytest-cov is not installed
+## Coverage gate on the scheduler + control-plane + geometry layers: the
+## fast suite under pytest-cov with an 80% line floor on repro.sched,
+## repro.service and repro.geometry (the lazy-matrix machinery must stay
+## pinned).  Skips with a notice where pytest-cov is not installed
 ## (the CI coverage job installs it; see requirements-dev.txt).
 coverage:
 	@$(PYPATH) $(PY) -c "import pytest_cov" >/dev/null 2>&1 || \
 	    { echo "make coverage: pytest-cov not found (pip install pytest-cov); skipping"; exit 0; } ; \
 	$(PYPATH) $(PY) -m pytest -q -m "not slow" \
-	    --cov=repro.sched --cov=repro.service \
+	    --cov=repro.sched --cov=repro.service --cov=repro.geometry \
 	    --cov-report=term-missing --cov-fail-under=80
 
 ## Static checks: ruff lint rules + formatter drift (see ruff.toml).
@@ -73,10 +74,21 @@ bench-solver:
 	$(PYPATH) REPRO_JOBS=$(JOBS) $(PY) -m pytest \
 	    benchmarks/bench_solver_strategies.py -q
 
-## Fail if the latest bench_solver entry is >25% slower than the
-## previous one (pass BASELINE=path to diff against a saved BENCH.json).
+## Hierarchical scale points: a 4096-tile hierarchical solve end to end
+## (REPRO_BENCH_XL=1 adds the ~40 s 16384-tile point) with the
+## lazy-geometry allocation account.  Appends a bench_solver_scale_points
+## entry (critical-path Mcycles + geometry MiB) to benchmarks/BENCH.json.
+bench-solver-scale:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_solver_scale.py -q
+
+## Fail if the latest bench_solver / bench_solver_scale_points entries
+## regressed >25% against the previous ones — wall seconds on matching
+## hosts, modeled Mcycles and geometry MiB everywhere (pass
+## BASELINE=path to diff against a saved BENCH.json).
 bench-compare:
 	$(PY) tools/bench_compare.py --bench bench_solver \
+	    $(if $(BASELINE),--baseline $(BASELINE),)
+	$(PY) tools/bench_compare.py --bench bench_solver_scale_points \
 	    $(if $(BASELINE),--baseline $(BASELINE),)
 
 ## Fail if README/docs code blocks reference CLI flags, experiments,

@@ -62,7 +62,7 @@ def test_solver_strategies(once, runner):
     assert incr < 0.5 * full
     # Every strategy stays within the paper's 50 Mcycle interval at the
     # 64-tile design point.
-    for strategy in ("full", "incremental", "partitioned"):
+    for strategy in ("full", "incremental", "partitioned", "hierarchical"):
         for dynamism in ("stationary", "phased"):
             assert result.within_interval(point(strategy, dynamism))
 
@@ -70,7 +70,8 @@ def test_solver_strategies(once, runner):
         f"{strategy}_{dynamism}": round(
             result.mean(point(strategy, dynamism), "solve_seconds_total"), 4
         )
-        for strategy in ("full", "incremental", "partitioned")
+        for strategy in ("full", "incremental", "partitioned",
+                         "hierarchical")
         for dynamism in ("stationary", "phased")
     }
     record_bench_entry({

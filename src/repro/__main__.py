@@ -100,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--strategy", default="incremental",
                          metavar="NAME",
                          help="solve strategy for every chip's warm "
-                              "engine (default incremental)")
+                              "engine: full, incremental, partitioned, "
+                              "or hierarchical (default incremental)")
     p_serve.add_argument("--workers", type=int, default=2, metavar="N",
                          help="worker tasks / solve threads (default 2)")
     p_serve.add_argument("--queue-limit", type=int, default=32,

@@ -20,11 +20,14 @@ replay the solve times measured when the job actually executed (the
 placer-study convention; see docs/REPRODUCING.md).
 
 ``--strategy`` selects the :mod:`repro.sched.engine` solve strategy
-(``full``/``incremental``/``partitioned``); the per-step solve breakdown
-(modeled Mcycles and wall) is exported alongside the headline table, and
-the sweep accepts tile counts up to 1024 (a 32x32 mesh) — the point
-where only the partitioned critical path still fits the reconfiguration
-interval (see ``solver_study`` for the warm-engine measurements).
+(``full``/``incremental``/``partitioned``/``hierarchical``); the
+per-step solve breakdown (modeled Mcycles and wall) is exported
+alongside the headline table.  The sweep accepts tile counts up to
+16384 (a 128x128 mesh): 1024 is where only the flat partitioned
+critical path still fits the reconfiguration interval, and the 4096+
+points need ``--strategy hierarchical``, whose recursive splits and
+lazy geometry keep both the critical path and memory bounded (see
+``solver_study`` for the warm-engine measurements).
 """
 
 from __future__ import annotations
@@ -340,7 +343,8 @@ register(ExperimentSpec(
         Param("mixes", "int", 10, "random mixes per mesh size"),
         Param("seed", "int", 42, "mix RNG seed"),
         Param("strategy", "str", "full",
-              "solve strategy: full, incremental, or partitioned"),
+              "solve strategy: full, incremental, partitioned, or "
+              "hierarchical"),
     ),
     build_jobs=_scalability_jobs,
     reduce=_scalability_reduce,

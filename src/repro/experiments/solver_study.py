@@ -15,7 +15,8 @@ every interval while the workload drifts:
 * **phased** mixes (:func:`repro.workloads.mixes.random_phased_mix`)
   move a few processes' curves per interval: ``incremental`` re-solves
   only the dirty slice, ``partitioned`` caps the critical path at the
-  slowest ~8x8 region regardless of dynamism.
+  slowest ~8x8 region regardless of dynamism, and ``hierarchical``
+  keeps that cap at 4096+ tiles by nesting the splits.
 
 The headline number per point is the worst warm re-solve in modeled
 Mcycles (via :class:`~repro.sched.opcount.StepCounter`; critical path for
@@ -46,7 +47,7 @@ from repro.workloads.mixes import (
 INTERVAL_MCYCLES = 50.0
 
 #: Default strategy sweep (every registered engine strategy).
-STRATEGY_SWEEP = ("full", "incremental", "partitioned")
+STRATEGY_SWEEP = ("full", "incremental", "partitioned", "hierarchical")
 
 #: Default dynamism arms.
 DYNAMISM_SWEEP = ("stationary", "phased")

@@ -2,7 +2,18 @@
 CDCS's placement steps (compact placement, contention windows, spirals,
 centers of mass)."""
 
-from repro.geometry.mesh import Mesh, Topology, Torus
+from repro.geometry.mesh import (
+    DENSE_GEOMETRY_TILE_LIMIT,
+    GeometryStats,
+    LazyGeometryMatrix,
+    Mesh,
+    Topology,
+    Torus,
+    dense_geometry_bytes,
+    dense_geometry_limit,
+    geometry_allocation_stats,
+    reset_geometry_allocation_stats,
+)
 from repro.geometry.placement_math import (
     center_of_mass,
     compact_mean_distance,
@@ -16,9 +27,16 @@ from repro.geometry.placement_math import (
 )
 
 __all__ = [
+    "DENSE_GEOMETRY_TILE_LIMIT",
+    "GeometryStats",
+    "LazyGeometryMatrix",
     "Mesh",
     "Topology",
     "Torus",
+    "dense_geometry_bytes",
+    "dense_geometry_limit",
+    "geometry_allocation_stats",
+    "reset_geometry_allocation_stats",
     "center_of_mass",
     "compact_mean_distance",
     "compact_placement",

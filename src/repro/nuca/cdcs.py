@@ -2,8 +2,8 @@
 
 Also exposes the partial variants used by the factor analysis of Fig 12
 (+L, +T, +D on top of Jigsaw+R), and scheme-level selection of the solve
-strategy (``full``/``incremental``/``partitioned`` — see
-:mod:`repro.sched.engine`): the scheme keeps one
+strategy (``full``/``incremental``/``partitioned``/``hierarchical`` —
+see :mod:`repro.sched.engine`): the scheme keeps one
 :class:`~repro.sched.engine.ReconfigEngine` alive across ``run()`` calls,
 so repeated solves of a drifting problem warm-start exactly like the
 periodic runtime of Sec IV-G.

@@ -5,7 +5,7 @@ reconfiguration stays cheap at hundreds of tiles (Sec IV, Table 3) — but a
 single-shot :func:`repro.sched.reconfigure.reconfigure` of a fully
 committed 256-tile mesh costs ~80 Mcycles of modeled runtime, overrunning
 the 50 Mcycle interval.  This module turns the monolithic pipeline into an
-engine with three interchangeable :class:`SolveStrategy` implementations:
+engine with interchangeable :class:`SolveStrategy` implementations:
 
 * :class:`FullSolve` (``"full"``) — the classic 4-step pipeline, bitwise
   identical to calling ``reconfigure()`` directly.  The pinned equivalence
@@ -24,6 +24,15 @@ engine with three interchangeable :class:`SolveStrategy` implementations:
   a boundary-trade refinement pass restricted to VCs holding data next to
   a region seam.  ``regions=1`` is the full pipeline with no stitch, again
   bitwise identical by construction.
+* :class:`HierarchicalSolve` (``"hierarchical"``, PR 7) — regions of
+  regions: recursive splits by the smallest common divisor of the mesh
+  axes down to paper-sized (~8x8) leaves, with the same boundary-trade
+  stitch at every level.  The modeled critical path is the slowest leaf
+  plus one stitch per level, each stitch an anytime pass capped at
+  :data:`STITCH_OPS_BUDGET` ops — that is what keeps 4096-tile and
+  larger meshes inside the 50 Mcycle interval.  ``depth=1`` is bitwise
+  the flat partitioned strategy; ``depth=1, regions=1`` is bitwise
+  ``full``.
 
 :class:`ReconfigEngine` carries solver state (the previous problem and
 solution) across epochs, which is what the periodic runtime of Sec IV-G
@@ -51,6 +60,19 @@ from repro.sched.reconfigure import ReconfigPolicy, ReconfigResult, reconfigure
 from repro.sched.refinement import refined_placement, trade_refinement
 from repro.sched.thread_placement import place_threads
 from repro.sched.vc_placement import OptimisticPlacement, place_optimistic
+
+
+#: Default op budget for one stitch pass (10 Mcycles at CYCLES_PER_OP).
+#: The stitch is an anytime pass — seam VCs refine hottest-first, and no
+#: new scan starts past the budget — so the modeled critical path of a
+#: split solve is bounded by construction: slowest leaf (~5 Mcyc for an
+#: 8x8 region) plus one budget slice per level, which keeps even the
+#: four-level 128x128 hierarchy inside the paper's 50 Mcycle interval.
+#: Every stitch at 1024 tiles or below measures well under the budget
+#: (~14 kops at the 32x32 flat split), so the budget only ever binds at
+#: 4096+ tiles and the pre-budget behavior is preserved bitwise
+#: everywhere the tests pin it.
+STITCH_OPS_BUDGET = 20_000
 
 
 @dataclass
@@ -376,6 +398,258 @@ def auto_regions(topology) -> int:
     return 1
 
 
+def _split_dims(topo: Mesh, k: int) -> tuple[int, int]:
+    """Region (width, height) of a k x k split; validates the topology."""
+    if type(topo) is not Mesh:
+        raise ValueError(
+            "partitioned solves need a plain Mesh topology "
+            f"(got {type(topo).__name__})"
+        )
+    if topo.width % k or topo.height % k:
+        raise ValueError(
+            f"regions={k} does not divide the "
+            f"{topo.width}x{topo.height} mesh"
+        )
+    return topo.width // k, topo.height // k
+
+
+def _map_region_solves(sub_problems, policy, sub_externals, runner):
+    """Solve each region through the full pipeline, serially or fanned
+    over a runner's worker processes (results identical either way)."""
+    if runner is None:
+        return [
+            _solve_region(sub, policy, ext)
+            for sub, ext in zip(sub_problems, sub_externals)
+        ]
+    from repro.runner import Job  # lazy: sched must not need the runner
+
+    jobs = [
+        Job(
+            fn=_solve_region,
+            kwargs=dict(
+                problem=sub, policy=policy, external_thread_cores=ext
+            ),
+            label=f"region-{i}",
+        )
+        for i, (sub, ext) in enumerate(zip(sub_problems, sub_externals))
+    ]
+    return runner.map(jobs)
+
+
+def _split_solve(
+    problem: PlacementProblem,
+    policy: ReconfigPolicy,
+    external_thread_cores: dict[int, int] | None,
+    k: int,
+    strategy_name: str,
+    solve_children,
+    stitch_ops_budget: int | None = STITCH_OPS_BUDGET,
+) -> ReconfigResult:
+    """One level of a region split: partition, solve children, merge,
+    stitch.
+
+    The shared body of :class:`PartitionedSolve` (children = full-pipeline
+    region solves) and :class:`HierarchicalSolve` (children = recursive
+    split solves).  *solve_children* maps ``(sub_problems, policy,
+    sub_externals)`` to one :class:`ReconfigResult` per region.  The
+    modeled critical path is the slowest child's ``modeled_cycles()``
+    plus this level's stitch — for a leaf child that is its op count,
+    for a nested split its own critical path, so the recursion yields
+    slowest-leaf + per-level stitches, each stitch capped at
+    *stitch_ops_budget* ops (see :data:`STITCH_OPS_BUDGET`).
+    """
+    topo = problem.topology
+    rw, rh = _split_dims(topo, k)
+    n_regions = k * k
+
+    def region_of(tile: int) -> int:
+        x, y = topo.coords(tile)
+        return (y // rh) * k + (x // rw)
+
+    def to_local(tile: int) -> int:
+        x, y = topo.coords(tile)
+        return (y % rh) * rw + (x % rw)
+
+    def to_global(region: int, local: int) -> int:
+        gx = (region % k) * rw + local % rw
+        gy = (region // k) * rh + local // rw
+        return topo.tile_at(gx, gy)
+
+    # -- assign processes (and with them, threads + VCs) to regions ----
+    region_threads: dict[int, list] = {r: [] for r in range(n_regions)}
+    if external_thread_cores is not None:
+        thread_region: dict[int, int] = {}
+        for thread in problem.threads:
+            core = external_thread_cores.get(thread.thread_id)
+            if core is None:
+                raise ValueError(
+                    f"external placement misses thread {thread.thread_id}"
+                )
+            region = region_of(core)
+            seen = thread_region.get(thread.process_id)
+            if seen is not None and seen != region:
+                # A process's shared VCs live in exactly one region;
+                # threads scattered across regions would silently
+                # under-allocate them.  Refuse rather than diverge.
+                raise ValueError(
+                    f"external placement splits process "
+                    f"{thread.process_id} across regions; partitioned "
+                    f"solves need region-local processes (use fewer "
+                    f"regions or a region-aligned placement)"
+                )
+            thread_region[thread.process_id] = region
+            region_threads[region].append(thread)
+    else:
+        by_process: dict[int, list] = {}
+        for thread in problem.threads:
+            by_process.setdefault(thread.process_id, []).append(thread)
+        free = {r: rw * rh for r in range(n_regions)}
+        order = sorted(
+            by_process.items(), key=lambda kv: (-len(kv[1]), kv[0])
+        )
+        for process_id, threads in order:
+            target = max(
+                range(n_regions), key=lambda r: (free[r], -r)
+            )
+            if len(threads) > free[target]:
+                raise ValueError(
+                    f"process {process_id} has {len(threads)} threads "
+                    f"but the largest region has {free[target]} free "
+                    f"cores; use fewer regions"
+                )
+            region_threads[target].extend(threads)
+            free[target] -= len(threads)
+
+    process_region = {
+        t.process_id: r
+        for r, threads in region_threads.items()
+        for t in threads
+    }
+    # Orphan VCs (the zero-rate global VC's process id maps nowhere) go
+    # to the first region that actually has threads, so no region ends up
+    # holding VCs it has no accessors for.
+    default_region = next(
+        (r for r in range(n_regions) if region_threads[r]), 0
+    )
+    region_vcs: dict[int, list] = {r: [] for r in range(n_regions)}
+    for vc in problem.vcs:
+        region_vcs[process_region.get(vc.process_id, default_region)].append(vc)
+
+    # -- solve each region as an independent sub-problem ---------------
+    sub_config = problem.config.with_mesh(rw, rh)
+    sub_problems = []
+    sub_externals = []
+    for region in range(n_regions):
+        sub_problems.append(
+            PlacementProblem(
+                config=sub_config,
+                topology=Mesh(rw, rh),
+                vcs=region_vcs[region],
+                threads=region_threads[region],
+                # The DRAM round trip is a chip-level constant; regions
+                # see the same memory the whole mesh does.
+                mem_latency=problem.mem_latency,
+            )
+        )
+        if external_thread_cores is None:
+            sub_externals.append(None)
+        else:
+            sub_externals.append(
+                {
+                    t.thread_id: to_local(
+                        external_thread_cores[t.thread_id]
+                    )
+                    for t in region_threads[region]
+                }
+            )
+
+    # Regions no process landed in (small meshes, forced splits) have
+    # nothing to solve: give them an empty result instead of running the
+    # pipeline on a degenerate zero-thread problem.
+    live = [
+        i for i, sub in enumerate(sub_problems) if sub.threads or sub.vcs
+    ]
+    live_results = dict(zip(live, solve_children(
+        [sub_problems[i] for i in live],
+        policy,
+        [sub_externals[i] for i in live],
+    )))
+    region_results = [
+        live_results[i] if i in live_results else ReconfigResult(
+            PlacementSolution(
+                vc_sizes={}, vc_allocation={}, thread_cores={}
+            ),
+            StepCounter(), {}, strategy=strategy_name,
+        )
+        for i in range(n_regions)
+    ]
+
+    # -- merge local solutions back into chip coordinates ---------------
+    counter = StepCounter()
+    wall: dict[str, float] = {}
+    allocation: dict[int, dict[int, float]] = {}
+    thread_cores: dict[int, int] = {}
+    critical = 0.0
+    for region, result in enumerate(region_results):
+        counter = counter.merged(result.counter)
+        # A leaf's modeled cycles are its op count; a nested split's are
+        # its own critical path — identical for flat partitioned solves
+        # (leaves carry no critical_path_cycles), recursive otherwise.
+        critical = max(critical, result.modeled_cycles())
+        for step, seconds in result.wall_seconds.items():
+            wall[step] = wall.get(step, 0.0) + seconds
+        for vc_id, per_bank in result.solution.vc_allocation.items():
+            allocation[vc_id] = {
+                to_global(region, bank): amount
+                for bank, amount in per_bank.items()
+            }
+        for thread_id, core in result.solution.thread_cores.items():
+            thread_cores[thread_id] = to_global(region, core)
+
+    # -- stitch: boundary VCs trade across the seams --------------------
+    if policy.trade_refinement:
+        t0 = time.perf_counter()
+        boundary_banks = {
+            tile
+            for tile in range(topo.tiles)
+            if any(
+                region_of(n) != region_of(tile)
+                for n in topo.neighbors(tile)
+            )
+        }
+        boundary_vcs = {
+            vc_id
+            for vc_id, per_bank in allocation.items()
+            if any(
+                bank in boundary_banks and amount > 1e-9
+                for bank, amount in per_bank.items()
+            )
+        }
+        stitch_counter = StepCounter()
+        trade_refinement(
+            problem, allocation, thread_cores, stitch_counter,
+            initiators=boundary_vcs, ops_budget=stitch_ops_budget,
+        )
+        stitch_ops = sum(stitch_counter.ops.values())
+        if stitch_ops:
+            counter.add("stitch", stitch_ops)
+        critical += stitch_ops * CYCLES_PER_OP
+        wall["stitch"] = time.perf_counter() - t0
+
+    solution = PlacementSolution(
+        vc_sizes={
+            vc_id: sum(per.values())
+            for vc_id, per in allocation.items()
+        },
+        vc_allocation=allocation,
+        thread_cores=thread_cores,
+    )
+    return ReconfigResult(
+        solution, counter, wall,
+        strategy=strategy_name, critical_path_cycles=critical,
+    )
+
+
 class PartitionedSolve:
     """Solve k x k mesh regions independently, then stitch the seams.
 
@@ -387,7 +661,9 @@ class PartitionedSolve:
     region owning the external core), and each process's VCs come along.
     The stitch is a boundary-trade pass: VCs holding data in a bank
     adjacent to another region may trade across the seam, with anyone as
-    counterparty — op-counted under the ``stitch`` step.
+    counterparty — op-counted under the ``stitch`` step and capped at
+    ``stitch_ops_budget`` ops (anytime, hottest VCs first; the default
+    :data:`STITCH_OPS_BUDGET` never binds at 1024 tiles or below).
 
     ``regions=1`` solves the whole mesh as one region and skips the
     stitch (there are no seams), making it bitwise-identical to
@@ -399,218 +675,149 @@ class PartitionedSolve:
 
     name = "partitioned"
 
-    def __init__(self, regions: int | None = None, runner=None):
+    def __init__(
+        self,
+        regions: int | None = None,
+        runner=None,
+        stitch_ops_budget: int | None = STITCH_OPS_BUDGET,
+    ):
         if regions is not None and regions < 1:
             raise ValueError(f"regions must be >= 1, got {regions}")
+        if stitch_ops_budget is not None and stitch_ops_budget < 1:
+            raise ValueError(
+                f"stitch_ops_budget must be >= 1, got {stitch_ops_budget}"
+            )
         self.regions = regions
         self.runner = runner
-
-    # -- geometry -----------------------------------------------------------
-
-    def _split(self, topo: Mesh, k: int):
-        if type(topo) is not Mesh:
-            raise ValueError(
-                "partitioned solves need a plain Mesh topology "
-                f"(got {type(topo).__name__})"
-            )
-        if topo.width % k or topo.height % k:
-            raise ValueError(
-                f"regions={k} does not divide the "
-                f"{topo.width}x{topo.height} mesh"
-            )
-        return topo.width // k, topo.height // k
+        self.stitch_ops_budget = stitch_ops_budget
 
     def solve(self, problem, policy, external_thread_cores, state):
         topo = problem.topology
         k = self.regions if self.regions is not None else auto_regions(topo)
         if k <= 1:
-            result = _full_solve(
+            return _full_solve(
                 problem, policy, external_thread_cores, self.name
             )
-            return result
-        rw, rh = self._split(topo, k)
-        n_regions = k * k
-
-        def region_of(tile: int) -> int:
-            x, y = topo.coords(tile)
-            return (y // rh) * k + (x // rw)
-
-        def to_local(tile: int) -> int:
-            x, y = topo.coords(tile)
-            return (y % rh) * rw + (x % rw)
-
-        def to_global(region: int, local: int) -> int:
-            gx = (region % k) * rw + local % rw
-            gy = (region // k) * rh + local // rw
-            return topo.tile_at(gx, gy)
-
-        # -- assign processes (and with them, threads + VCs) to regions ----
-        region_threads: dict[int, list] = {r: [] for r in range(n_regions)}
-        if external_thread_cores is not None:
-            thread_region: dict[int, int] = {}
-            for thread in problem.threads:
-                core = external_thread_cores.get(thread.thread_id)
-                if core is None:
-                    raise ValueError(
-                        f"external placement misses thread {thread.thread_id}"
-                    )
-                region = region_of(core)
-                seen = thread_region.get(thread.process_id)
-                if seen is not None and seen != region:
-                    # A process's shared VCs live in exactly one region;
-                    # threads scattered across regions would silently
-                    # under-allocate them.  Refuse rather than diverge.
-                    raise ValueError(
-                        f"external placement splits process "
-                        f"{thread.process_id} across regions; partitioned "
-                        f"solves need region-local processes (use fewer "
-                        f"regions or a region-aligned placement)"
-                    )
-                thread_region[thread.process_id] = region
-                region_threads[region].append(thread)
-        else:
-            by_process: dict[int, list] = {}
-            for thread in problem.threads:
-                by_process.setdefault(thread.process_id, []).append(thread)
-            free = {r: rw * rh for r in range(n_regions)}
-            order = sorted(
-                by_process.items(), key=lambda kv: (-len(kv[1]), kv[0])
-            )
-            for process_id, threads in order:
-                target = max(
-                    range(n_regions), key=lambda r: (free[r], -r)
-                )
-                if len(threads) > free[target]:
-                    raise ValueError(
-                        f"process {process_id} has {len(threads)} threads "
-                        f"but the largest region has {free[target]} free "
-                        f"cores; use fewer regions"
-                    )
-                region_threads[target].extend(threads)
-                free[target] -= len(threads)
-
-        process_region = {
-            t.process_id: r
-            for r, threads in region_threads.items()
-            for t in threads
-        }
-        region_vcs: dict[int, list] = {r: [] for r in range(n_regions)}
-        for vc in problem.vcs:
-            region_vcs[process_region.get(vc.process_id, 0)].append(vc)
-
-        # -- solve each region as an independent sub-problem ---------------
-        sub_config = problem.config.with_mesh(rw, rh)
-        sub_problems = []
-        sub_externals = []
-        for region in range(n_regions):
-            sub_problems.append(
-                PlacementProblem(
-                    config=sub_config,
-                    topology=Mesh(rw, rh),
-                    vcs=region_vcs[region],
-                    threads=region_threads[region],
-                    # The DRAM round trip is a chip-level constant; regions
-                    # see the same memory the whole mesh does.
-                    mem_latency=problem.mem_latency,
-                )
-            )
-            if external_thread_cores is None:
-                sub_externals.append(None)
-            else:
-                sub_externals.append(
-                    {
-                        t.thread_id: to_local(
-                            external_thread_cores[t.thread_id]
-                        )
-                        for t in region_threads[region]
-                    }
-                )
-
-        region_results = self._solve_regions(
-            sub_problems, policy, sub_externals
+        return _split_solve(
+            problem, policy, external_thread_cores, k, self.name,
+            lambda subs, pol, exts: _map_region_solves(
+                subs, pol, exts, self.runner
+            ),
+            stitch_ops_budget=self.stitch_ops_budget,
         )
 
-        # -- merge local solutions back into chip coordinates ---------------
-        counter = StepCounter()
-        wall: dict[str, float] = {}
-        allocation: dict[int, dict[int, float]] = {}
-        thread_cores: dict[int, int] = {}
-        critical = 0.0
-        for region, result in enumerate(region_results):
-            counter = counter.merged(result.counter)
-            critical = max(critical, result.counter.total_cycles())
-            for step, seconds in result.wall_seconds.items():
-                wall[step] = wall.get(step, 0.0) + seconds
-            for vc_id, per_bank in result.solution.vc_allocation.items():
-                allocation[vc_id] = {
-                    to_global(region, bank): amount
-                    for bank, amount in per_bank.items()
-                }
-            for thread_id, core in result.solution.thread_cores.items():
-                thread_cores[thread_id] = to_global(region, core)
 
-        # -- stitch: boundary VCs trade across the seams --------------------
-        if policy.trade_refinement:
-            t0 = time.perf_counter()
-            boundary_banks = {
-                tile
-                for tile in range(topo.tiles)
-                if any(
-                    region_of(n) != region_of(tile)
-                    for n in topo.neighbors(tile)
-                )
-            }
-            boundary_vcs = {
-                vc_id
-                for vc_id, per_bank in allocation.items()
-                if any(
-                    bank in boundary_banks and amount > 1e-9
-                    for bank, amount in per_bank.items()
-                )
-            }
-            stitch_counter = StepCounter()
-            trade_refinement(
-                problem, allocation, thread_cores, stitch_counter,
-                initiators=boundary_vcs,
+class HierarchicalSolve:
+    """Regions of regions: recursive splits down to paper-sized leaves.
+
+    A flat k x k split stops scaling once k² regions each still hold
+    hundreds of tiles (or the stitch seam grows to a large fraction of
+    the chip).  This strategy splits by the *smallest* common divisor
+    k >= 2 of the mesh axes at every level, recursing until a region is
+    at most *leaf_tiles* tiles (default 64 — the paper's 8x8 design
+    point), then solves the leaves through the unchanged pipeline.  Every
+    level merges its children with the shared :func:`_split_solve` body
+    and runs the same boundary-trade stitch over its seams, so data still
+    migrates across region borders at every scale.  The modeled critical
+    path compounds as slowest-leaf + one stitch per level (regions at one
+    level solve on parallel runtime cores; stitches are sequential), and
+    each stitch is an anytime pass capped at ``stitch_ops_budget`` ops —
+    that cap is what bounds the whole chain: leaf + levels x budget stays
+    inside the 50 Mcycle interval even for the four-level 128x128 mesh.
+
+    ``regions`` fixes the *top-level* split factor (deeper levels stay
+    automatic); ``depth`` caps the number of split levels.  The pinned
+    degenerate contracts: ``depth=1`` is bitwise the flat
+    :class:`PartitionedSolve` with the same split factor (the recursion
+    collapses to one level over full-pipeline leaves, through the same
+    shared body), and ``depth=1, regions=1`` is bitwise
+    :class:`FullSolve`.  Leaves re-solve cold every epoch, exactly like
+    the flat strategy — warm per-leaf engines would break those
+    contracts.  An optional runner fans the deepest level's leaf solves
+    over worker processes.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        regions: int | None = None,
+        depth: int | None = None,
+        leaf_tiles: int = 64,
+        runner=None,
+        stitch_ops_budget: int | None = STITCH_OPS_BUDGET,
+    ):
+        if regions is not None and regions < 1:
+            raise ValueError(f"regions must be >= 1, got {regions}")
+        if depth is not None and depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if leaf_tiles < 1:
+            raise ValueError(f"leaf_tiles must be >= 1, got {leaf_tiles}")
+        if stitch_ops_budget is not None and stitch_ops_budget < 1:
+            raise ValueError(
+                f"stitch_ops_budget must be >= 1, got {stitch_ops_budget}"
             )
-            stitch_ops = sum(stitch_counter.ops.values())
-            if stitch_ops:
-                counter.add("stitch", stitch_ops)
-            critical += stitch_ops * CYCLES_PER_OP
-            wall["stitch"] = time.perf_counter() - t0
+        self.regions = regions
+        self.depth = depth
+        self.leaf_tiles = leaf_tiles
+        self.runner = runner
+        self.stitch_ops_budget = stitch_ops_budget
 
-        solution = PlacementSolution(
-            vc_sizes={
-                vc_id: sum(per.values())
-                for vc_id, per in allocation.items()
-            },
-            vc_allocation=allocation,
-            thread_cores=thread_cores,
+    def _auto_k(self, topo) -> int:
+        """Smallest common divisor >= 2 of the mesh axes (1 = leaf:
+        the region is small enough, or the axes share no divisor)."""
+        width = getattr(topo, "width", None)
+        height = getattr(topo, "height", None)
+        if not width or not height:
+            return 1
+        if topo.tiles <= self.leaf_tiles:
+            return 1
+        for k in range(2, min(width, height) + 1):
+            if width % k == 0 and height % k == 0:
+                return k
+        return 1
+
+    def _level_k(self, topo, remaining: int | None) -> int:
+        if remaining is not None and remaining <= 0:
+            return 1
+        return self._auto_k(topo)
+
+    def solve(self, problem, policy, external_thread_cores, state):
+        topo = problem.topology
+        k = self.regions if self.regions is not None else self._auto_k(topo)
+        if k <= 1:
+            return _full_solve(
+                problem, policy, external_thread_cores, self.name
+            )
+        remaining = None if self.depth is None else self.depth - 1
+        return _split_solve(
+            problem, policy, external_thread_cores, k, self.name,
+            lambda subs, pol, exts: self._solve_children(
+                subs, pol, exts, remaining
+            ),
+            stitch_ops_budget=self.stitch_ops_budget,
         )
-        return ReconfigResult(
-            solution, counter, wall,
-            strategy=self.name, critical_path_cycles=critical,
-        )
 
-    def _solve_regions(self, sub_problems, policy, sub_externals):
-        if self.runner is None:
-            return [
-                _solve_region(sub, policy, ext)
-                for sub, ext in zip(sub_problems, sub_externals)
-            ]
-        from repro.runner import Job  # lazy: sched must not need the runner
-
-        jobs = [
-            Job(
-                fn=_solve_region,
-                kwargs=dict(
-                    problem=sub, policy=policy, external_thread_cores=ext
+    def _solve_children(self, subs, policy, exts, remaining):
+        if not subs:
+            return []
+        # Regions at one level share dimensions, so one decision covers
+        # them all: recurse deeper, or solve this level's regions as
+        # leaves (the flat strategy's path, runner fan-out included).
+        child_k = self._level_k(subs[0].topology, remaining)
+        if child_k <= 1:
+            return _map_region_solves(subs, policy, exts, self.runner)
+        next_remaining = None if remaining is None else remaining - 1
+        return [
+            _split_solve(
+                sub, policy, ext, child_k, self.name,
+                lambda s, p, e: self._solve_children(
+                    s, p, e, next_remaining
                 ),
-                label=f"region-{i}",
+                stitch_ops_budget=self.stitch_ops_budget,
             )
-            for i, (sub, ext) in enumerate(zip(sub_problems, sub_externals))
+            for sub, ext in zip(subs, exts)
         ]
-        return self.runner.map(jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -622,6 +829,7 @@ STRATEGIES = {
     "full": FullSolve,
     "incremental": IncrementalSolve,
     "partitioned": PartitionedSolve,
+    "hierarchical": HierarchicalSolve,
 }
 
 

@@ -44,33 +44,88 @@ from repro.sched.opcount import StepCounter
 from repro.sched.problem import PlacementProblem
 
 
-def access_distance_vectors(
-    problem: PlacementProblem,
-    allocation: dict[int, dict[int, float]],
-    thread_cores: dict[int, int],
-) -> tuple[dict[int, np.ndarray], dict[int, float]]:
-    """``(dvec, rate_per_byte)`` for every accessed, placed VC.
+#: Accessor rows reduced per block when building one distance vector.
+#: Chunking bounds the transient at ``(256, N)`` — a chip-wide VC (every
+#: core an accessor) on a 16384-tile mesh would otherwise stack an
+#: ``(N, N)`` float64 slab, exactly the dense build the lazy geometry
+#: path exists to avoid.
+_DVEC_ACCESSOR_CHUNK = 256
 
-    ``dvec[vc_id][b]`` is the access-weighted mean distance from the VC's
-    accessors to bank *b*; ``rate_per_byte`` is its access intensity.  The
-    vectorized build stacks one ``(rate / total) * dist[core]`` row per
-    accessor and reduces with sequential ``cumsum`` adds — bitwise the
-    scalar ``vec += ...`` loop.
+
+def _sequential_weighted_row_sum(
+    dist, cores: np.ndarray, coeffs: np.ndarray
+) -> np.ndarray:
+    """``cumsum(coeffs[:, None] * dist[cores], axis=0)[-1]`` in chunks.
+
+    ``cumsum`` is sequential addition, so seeding each chunk's reduction
+    with the running vector keeps every add in the same order — bitwise
+    the one-shot cumsum and the scalar ``vec += ...`` loop.
     """
-    topo = problem.topology
-    dist = topo.distance_matrix
-    vectorized = use_vectorized()
-    dvec: dict[int, np.ndarray] = {}
-    rate_per_byte: dict[int, float] = {}
-    for vc in problem.vcs:
-        accessors = problem.accessors_of(vc.vc_id)
+    running: np.ndarray | None = None
+    for lo in range(0, len(cores), _DVEC_ACCESSOR_CHUNK):
+        hi = min(lo + _DVEC_ACCESSOR_CHUNK, len(cores))
+        block = coeffs[lo:hi, None] * dist[cores[lo:hi]]
+        if running is not None:
+            block = np.vstack([running[None, :], block])
+        running = np.cumsum(block, axis=0)[-1]
+    return running
+
+
+class DistanceVectors:
+    """Lazily materialized ``dvec`` mapping: vc_id -> ``(N,) float64``.
+
+    Keys are fixed up front (every accessed, placed VC, in problem
+    order); each vector builds on first read and is then cached.  With
+    restricted trade *initiators* (the incremental dirty set, a
+    partitioned/hierarchical stitch's boundary VCs) most VCs are never an
+    initiator or a swap counterparty, so their vectors — the dominant
+    allocation of a chip-level refinement at scale — are never built.
+    Values are bitwise what the eager build produced, so trade decisions
+    are unchanged.
+    """
+
+    def __init__(
+        self,
+        topology,
+        thread_cores: dict[int, int],
+        eligible: dict[int, dict[int, float]],
+        vectorized: bool,
+    ):
+        self._topology = topology
+        self._thread_cores = thread_cores
+        self._eligible = eligible
+        self._vectorized = vectorized
+        self._vecs: dict[int, np.ndarray] = {}
+
+    def __iter__(self):
+        return iter(self._eligible)
+
+    def __len__(self) -> int:
+        return len(self._eligible)
+
+    def __contains__(self, vc_id) -> bool:
+        return vc_id in self._eligible
+
+    def __getitem__(self, vc_id: int) -> np.ndarray:
+        vec = self._vecs.get(vc_id)
+        if vec is None:
+            accessors = self._eligible.get(vc_id)
+            if accessors is None:
+                raise KeyError(vc_id)
+            vec = self._vecs[vc_id] = self._compute(accessors)
+        return vec
+
+    def get(self, vc_id: int, default=None):
+        if vc_id not in self._eligible:
+            return default
+        return self[vc_id]
+
+    def _compute(self, accessors: dict[int, float]) -> np.ndarray:
         total_rate = sum(accessors.values())
-        size = sum(allocation.get(vc.vc_id, {}).values())
-        if total_rate <= 0 or size <= 0:
-            continue
-        if vectorized:
+        dist = self._topology.distance_matrix
+        if self._vectorized:
             cores = np.fromiter(
-                (thread_cores[t] for t in accessors),
+                (self._thread_cores[t] for t in accessors),
                 dtype=np.int64,
                 count=len(accessors),
             )
@@ -79,13 +134,41 @@ def access_distance_vectors(
                 dtype=np.float64,
                 count=len(accessors),
             )
-            vec = np.cumsum(coeffs[:, None] * dist[cores], axis=0)[-1]
-        else:
-            vec = np.zeros(topo.tiles, dtype=np.float64)
-            for thread_id, rate in accessors.items():
-                vec += (rate / total_rate) * dist[thread_cores[thread_id]]
-        dvec[vc.vc_id] = vec
+            return _sequential_weighted_row_sum(dist, cores, coeffs)
+        vec = np.zeros(self._topology.tiles, dtype=np.float64)
+        for thread_id, rate in accessors.items():
+            vec += (rate / total_rate) * dist[self._thread_cores[thread_id]]
+        return vec
+
+
+def access_distance_vectors(
+    problem: PlacementProblem,
+    allocation: dict[int, dict[int, float]],
+    thread_cores: dict[int, int],
+) -> tuple[DistanceVectors, dict[int, float]]:
+    """``(dvec, rate_per_byte)`` for every accessed, placed VC.
+
+    ``dvec[vc_id][b]`` is the access-weighted mean distance from the VC's
+    accessors to bank *b*; ``rate_per_byte`` is its access intensity.
+    Vectors build as one ``(rate / total) * dist[core]`` row per accessor
+    reduced with sequential ``cumsum`` adds — bitwise the scalar
+    ``vec += ...`` loop — and only when a VC's vector is actually read
+    (see :class:`DistanceVectors`).
+    """
+    vectorized = use_vectorized()
+    eligible: dict[int, dict[int, float]] = {}
+    rate_per_byte: dict[int, float] = {}
+    for vc in problem.vcs:
+        accessors = problem.accessors_of(vc.vc_id)
+        total_rate = sum(accessors.values())
+        size = sum(allocation.get(vc.vc_id, {}).values())
+        if total_rate <= 0 or size <= 0:
+            continue
+        eligible[vc.vc_id] = accessors
         rate_per_byte[vc.vc_id] = total_rate / size
+    dvec = DistanceVectors(
+        problem.topology, thread_cores, eligible, vectorized
+    )
     return dvec, rate_per_byte
 
 
@@ -178,14 +261,25 @@ def trade_refinement(
     thread_cores: dict[int, int],
     counter: StepCounter | None = None,
     initiators: set[int] | None = None,
+    ops_budget: int | None = None,
 ) -> int:
     """Improve *allocation* in place via spiral trades; returns trades done.
 
     With *initiators*, only the named VCs start trades (the incremental
     dirty set, or a partitioned solve's boundary VCs); any VC can still be
     the counterparty of a swap — that is how displaced neighbors move.
+
+    With *ops_budget*, the pass is anytime: initiators refine
+    hottest-first (the existing order), and no new initiator starts a
+    scan once the ops counted by this pass reach the budget.  The pass
+    can overrun by at most the final initiator's scan — cutting off
+    mid-scan would leave that VC's spiral half-applied for no modeled
+    saving.  Budgets are how the partitioned/hierarchical stitch fits a
+    fixed reconfiguration-interval slice at 4096+ tiles; passes that stay
+    under the budget are bitwise unaffected by it.
     """
     counter = counter if counter is not None else StepCounter()
+    ops_at_entry = sum(counter.ops.values())
     topo = problem.topology
     dist = topo.distance_matrix
     bank_bytes = float(problem.bank_bytes)
@@ -219,6 +313,9 @@ def trade_refinement(
     if initiators is not None:
         order = [v for v in order if v in initiators]
     for vc1 in order:
+        if (ops_budget is not None
+                and sum(counter.ops.values()) - ops_at_entry >= ops_budget):
+            break
         per_bank1 = allocation[vc1]
         if not per_bank1:
             continue

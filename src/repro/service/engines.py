@@ -46,7 +46,9 @@ class ChipSlot:
 class EnginePool:
     """Keyed warm engines: ``pool.slot(chip_id)`` creates on first use.
 
-    *strategy* (name or ready :class:`SolveStrategy` instance), *policy*,
+    *strategy* (any registered name — ``full``, ``incremental``,
+    ``partitioned``, ``hierarchical`` — or a ready
+    :class:`SolveStrategy` instance), *policy*,
     and *strategy_kwargs* configure every chip's engine identically — the
     equivalence contract requires a chip served here to see exactly the
     engine a standalone ``ReconfigEngine(strategy)`` would be.  With

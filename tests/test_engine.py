@@ -253,7 +253,9 @@ def test_strategies_identical_through_both_kernel_paths():
 
 
 def test_make_strategy_vocabulary():
-    assert strategy_names() == ["full", "incremental", "partitioned"]
+    assert strategy_names() == [
+        "full", "hierarchical", "incremental", "partitioned"
+    ]
     assert isinstance(make_strategy("partitioned"), PartitionedSolve)
     with pytest.raises(ValueError, match="unknown solve strategy"):
         make_strategy("annealed")

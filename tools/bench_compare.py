@@ -1,4 +1,4 @@
-"""Diff a BENCH.json against a baseline and fail on wall-clock regressions.
+"""Diff a BENCH.json against a baseline; fail on perf/memory regressions.
 
 ``benchmarks/BENCH.json`` is an append-only history of benchmark entries
 (each with a ``bench`` name and nested numeric metrics).  CI runs the
@@ -13,7 +13,7 @@ Without ``--baseline``, the candidate file is compared against itself:
 the latest entry per bench name vs the previous entry of the same name
 (useful locally, where the committed entry is still in the file).
 
-Two metric classes gate, both at ``--max-regression`` (default 25%):
+Three metric classes gate, all at ``--max-regression`` (default 25%):
 
 * **wall-clock** — numeric leaves whose key path contains ``second``
   (e.g. ``solve_wall_seconds.full_phased``).  Wall time is machine
@@ -25,6 +25,11 @@ Two metric classes gate, both at ``--max-regression`` (default 25%):
 * **modeled cycles** — leaves whose path contains ``mcycles``.  These
   are deterministic op counts, identical on any machine, so they gate
   unconditionally: a >25% growth is an algorithmic regression, not skew.
+* **peak memory** — leaves whose path contains ``mib`` (the lazy-geometry
+  allocation account, e.g. ``geometry_16384t_cached_mib``).  Allocation
+  sizes are as deterministic as op counts, so these also gate
+  unconditionally: a growing footprint means some path started
+  materializing geometry it previously left lazy.
 
 Metrics absent from either side are reported but never fail (benches
 grow metrics over time).
@@ -81,6 +86,15 @@ def mcycle_metrics(entry: dict) -> dict[str, float]:
     }
 
 
+def memory_metrics(entry: dict) -> dict[str, float]:
+    """Machine-independent allocation sizes: leaves mentioning mib."""
+    return {
+        path: value
+        for path, value in numeric_leaves(entry).items()
+        if "mib" in path.lower()
+    }
+
+
 def _gate(
     candidate: dict[str, float],
     baseline: dict[str, float],
@@ -123,6 +137,10 @@ def compare(
         mcycle_metrics(candidate), mcycle_metrics(baseline),
         max_regression, " Mcyc",
     )
+    problems += _gate(
+        memory_metrics(candidate), memory_metrics(baseline),
+        max_regression, " MiB",
+    )
     base_host = baseline.get("host")
     cand_host = candidate.get("host")
     if base_host == cand_host:
@@ -144,8 +162,8 @@ def compare(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail on >N%% wall-clock regressions between "
-                    "BENCH.json entries.",
+        description="Fail on >N%% wall-clock, modeled-cycle, or "
+                    "peak-memory regressions between BENCH.json entries.",
     )
     parser.add_argument(
         "--candidate", type=Path, default=DEFAULT_CANDIDATE,
