@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast coverage lint bench-smoke run-smoke bench bench-kernels bench-solver bench-solver-scale bench-compare docs-check check clean
+.PHONY: test test-fast coverage lint bench-smoke run-smoke bench bench-kernels bench-runner bench-solver bench-solver-scale bench-compare docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -40,11 +40,12 @@ lint:
 
 ## Fast end-to-end smoke of the parallel runner + caching through the CLI
 ## and one real benchmark driver.  The trap guarantees the scratch cache
-## is removed even when an invocation fails mid-run (CI runners stay
-## clean); both CLI runs share one shell so the trap covers them all.
+## is removed — and any shared-memory segment a killed run might strand
+## — even when an invocation fails mid-run (CI runners stay clean);
+## both CLI runs share one shell so the trap covers them all.
 bench-smoke:
 	rm -rf .repro-smoke-cache
-	trap 'rm -rf .repro-smoke-cache' EXIT; \
+	trap 'rm -rf .repro-smoke-cache; rm -f /dev/shm/repro-* 2>/dev/null || true' EXIT; \
 	$(PYPATH) $(PY) -m repro fig14 --mixes 2 --jobs $(JOBS) \
 	    --cache-dir .repro-smoke-cache && \
 	$(PYPATH) $(PY) -m repro fig14 --mixes 2 --jobs $(JOBS) \
@@ -66,6 +67,14 @@ bench:
 bench-kernels:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_kernels.py -q
 
+## Runner throughput: serial vs pool vs mega-batch jobs/sec over the
+## fig14-shaped sweep (warm mega >= 10x serial on the reference host).
+## Appends a bench_runner_throughput entry to benchmarks/BENCH.json;
+## the trap sweeps any segment an interrupted run might strand.
+bench-runner:
+	trap 'rm -f /dev/shm/repro-* 2>/dev/null || true' EXIT; \
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_runner_throughput.py -q
+
 ## Solver-strategy smoke: warm incremental/partitioned re-solve cost vs
 ## the full pipeline + the reconfigure_epoch problem-reuse micro-bench.
 ## Appends a bench_solver entry to benchmarks/BENCH.json (the artifact
@@ -81,14 +90,17 @@ bench-solver:
 bench-solver-scale:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_solver_scale.py -q
 
-## Fail if the latest bench_solver / bench_solver_scale_points entries
-## regressed >25% against the previous ones — wall seconds on matching
-## hosts, modeled Mcycles and geometry MiB everywhere (pass
-## BASELINE=path to diff against a saved BENCH.json).
+## Fail if the latest bench_solver / bench_solver_scale_points /
+## bench_runner_throughput entries regressed >25% against the previous
+## ones — wall seconds and jobs/sec on matching hosts, modeled Mcycles
+## and geometry MiB everywhere (pass BASELINE=path to diff against a
+## saved BENCH.json).
 bench-compare:
 	$(PY) tools/bench_compare.py --bench bench_solver \
 	    $(if $(BASELINE),--baseline $(BASELINE),)
 	$(PY) tools/bench_compare.py --bench bench_solver_scale_points \
+	    $(if $(BASELINE),--baseline $(BASELINE),)
+	$(PY) tools/bench_compare.py --bench bench_runner_throughput \
 	    $(if $(BASELINE),--baseline $(BASELINE),)
 
 ## Fail if README/docs code blocks reference CLI flags, experiments,

@@ -1,0 +1,118 @@
+"""Runner throughput: jobs/sec for the serial, pool, and mega-batch paths.
+
+The shape is deliberately the regime the mega-batch runner targets —
+many small same-chip mixes (Fig 14's 4-app sweep), where the per-job
+path is bounded by per-mix kernel dispatch rather than solver
+arithmetic.  Three runners map the *same* job list:
+
+* **serial** — ``ProcessPoolRunner(jobs=1)``: the PR 1 baseline, one
+  job at a time, in process;
+* **pool** — ``ProcessPoolRunner(jobs=2)``: the PR 1 runner fanned out
+  (on a small CI box this mostly measures pickling overhead);
+* **mega** — ``MegaBatchRunner(jobs=1)``: all mixes stacked on one
+  leading batch axis through the kernels, bitwise-identical per slice.
+
+*cold* is the first map on a fresh runner; *warm* is the median of
+``WARM_ROUNDS`` further maps of the same jobs (medians because a 1–2
+CPU CI box jitters ±25% on single measurements).  Caching is off
+(``store=None``): a cached rerun would measure pickle loads, not the
+runner.  Runners execute in serial → pool → mega order so the serial
+baseline is never pre-warmed by the mega pass it is compared against.
+
+The ``*_jobs_per_sec`` metrics are machine-relative, so
+``tools/bench_compare.py`` gates them only on a matching host
+fingerprint (higher is better: a candidate *below* baseline fails).
+"""
+
+import os
+import platform
+import statistics
+import time
+from datetime import date
+
+from conftest import emit, record_bench_entry
+
+from repro.config import default_config
+from repro.experiments.sweeps import sweep_jobs
+from repro.runner import MegaBatchRunner, ProcessPoolRunner
+
+N_MIXES = 48
+N_APPS = 4
+WARM_ROUNDS = 3
+
+
+def _measure(runner, jobs):
+    """(cold jobs/s, warm jobs/s, last payloads) for one runner."""
+    try:
+        t0 = time.perf_counter()
+        payloads = runner.map(jobs)
+        cold = len(jobs) / (time.perf_counter() - t0)
+        warm_rates = []
+        for _ in range(WARM_ROUNDS):
+            t0 = time.perf_counter()
+            payloads = runner.map(jobs)
+            warm_rates.append(len(jobs) / (time.perf_counter() - t0))
+        return cold, statistics.median(warm_rates), payloads
+    finally:
+        close = getattr(runner, "close", None)
+        if close is not None:
+            close()
+
+
+def run():
+    jobs = sweep_jobs(default_config(), n_apps=N_APPS, n_mixes=N_MIXES,
+                      seed=42)
+    results = {}
+    payloads = {}
+    for name, runner in [
+        ("serial", ProcessPoolRunner(jobs=1)),
+        ("pool", ProcessPoolRunner(jobs=2)),
+        ("mega", MegaBatchRunner(jobs=1)),
+    ]:
+        cold, warm, got = _measure(runner, jobs)
+        results[name] = (cold, warm)
+        payloads[name] = got
+    return results, payloads
+
+
+def test_runner_throughput(once):
+    results, payloads = once(run)
+
+    # The speedup must not come from computing something else: every
+    # mega payload is bitwise the serial per-mix payload.
+    assert payloads["mega"] == payloads["serial"]
+    assert payloads["pool"] == payloads["serial"]
+
+    rows = [(name, cold, warm) for name, (cold, warm) in results.items()]
+    lines = [f"Runner throughput ({N_MIXES} x {N_APPS}-app st mixes)"]
+    for name, cold, warm in rows:
+        lines.append(f"  {name:<8} cold {cold:7.1f} jobs/s   "
+                     f"warm {warm:7.1f} jobs/s")
+    speedup = results["mega"][1] / results["serial"][1]
+    lines.append(f"  mega warm / serial warm = {speedup:.1f}x")
+    emit("\n".join(lines))
+
+    record_bench_entry({
+        "bench": "bench_runner_throughput",
+        "chip": f"{N_MIXES} x {N_APPS}-app single-threaded mixes (fig14 shape)",
+        "recorded": date.today().isoformat(),
+        "host": f"{platform.system()}-{platform.machine()}-"
+                f"{os.cpu_count()}cpu",
+        "metrics": {
+            "serial_cold_jobs_per_sec": round(results["serial"][0], 2),
+            "serial_warm_jobs_per_sec": round(results["serial"][1], 2),
+            "pool_cold_jobs_per_sec": round(results["pool"][0], 2),
+            "pool_warm_jobs_per_sec": round(results["pool"][1], 2),
+            "mega_cold_jobs_per_sec": round(results["mega"][0], 2),
+            "mega_warm_jobs_per_sec": round(results["mega"][1], 2),
+            "warm_speedup_over_serial": round(speedup, 2),
+        },
+        "notes": f"store=None; cold = first map on a fresh runner, warm = "
+                 f"median of {WARM_ROUNDS} further maps of the same jobs; "
+                 f"payloads asserted bitwise-equal across runners",
+    })
+
+    # Generous floor — the committed BENCH.json entry records the real
+    # ratio (>= 10x on the reference host) and bench_compare gates the
+    # absolute rates against it per host fingerprint.
+    assert speedup >= 5.0

@@ -38,7 +38,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.experiments.results import RunRecord
 from repro.experiments.spec import ExperimentSpec, get_spec
-from repro.runner import NullStore, ProcessPoolRunner, ResultStore, RunnerStats
+from repro.runner import MegaBatchRunner, NullStore, ResultStore, RunnerStats
 
 
 class Session:
@@ -49,6 +49,14 @@ class Session:
     default — disables caching); *progress* is forwarded to the runner
     and called with cumulative :class:`~repro.runner.RunnerStats` after
     every job.
+
+    The session's runner is a :class:`~repro.runner.MegaBatchRunner`:
+    sweep jobs that share a chip digest are stacked into mega-batch
+    kernel passes (bitwise-identical per mix, and off by default only
+    under ``REPRO_MEGA_BATCH=0``), with hot arrays shipped to workers
+    through shared memory.  Call :meth:`close` (or use the session as a
+    context manager) to release the worker pool and shared segments;
+    an ``atexit`` hook covers sessions that never do.
     """
 
     def __init__(
@@ -58,7 +66,7 @@ class Session:
         progress: Callable[[RunnerStats], None] | None = None,
     ):
         store = NullStore() if cache_dir is None else ResultStore(cache_dir)
-        self.runner = ProcessPoolRunner(
+        self.runner = MegaBatchRunner(
             jobs=jobs, store=store, progress=progress
         )
 
@@ -66,6 +74,16 @@ class Session:
     def stats(self) -> RunnerStats:
         """Cumulative job counters over the session's lifetime."""
         return self.runner.stats
+
+    def close(self) -> None:
+        """Release the persistent worker pool and shared-memory segments."""
+        self.runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(self, name: str, /, **overrides: Any) -> RunRecord:
         """Run one registered experiment; returns its typed record.

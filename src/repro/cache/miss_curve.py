@@ -244,6 +244,36 @@ class MissCurveBatch:
     def __len__(self) -> int:
         return len(self.curves)
 
+    def take(self, indices: Sequence[int] | np.ndarray) -> "MissCurveBatch":
+        """Row-subset batch: lane ``i`` of the result is lane
+        ``indices[i]`` of this batch (transforms included).
+
+        Every per-lane quantity is sliced from the parent's arrays, so a
+        query against the subset runs arithmetic element-for-element equal
+        to the same lanes of the full batch — the padded width ``P`` is
+        shared and padding never affects results.  The sharing solver uses
+        this to iterate only the lanes of pressured groups.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        sub = object.__new__(MissCurveBatch)
+        sub.curves = [self.curves[i] for i in idx]
+        sub.lengths = self.lengths[idx]
+        sub.sizes2d = self.sizes2d[idx]
+        sub.values2d = self.values2d[idx]
+        sub._arg_scale = (
+            None if self._arg_scale is None else self._arg_scale[idx]
+        )
+        sub._value_divisor = (
+            None if self._value_divisor is None else self._value_divisor[idx]
+        )
+        sub._rows = np.arange(len(idx))
+        sub._seg_hi = self._seg_hi[idx]
+        sub._first_x = self._first_x[idx]
+        sub._first_y = self._first_y[idx]
+        sub._last_x = self._last_x[idx]
+        sub._last_y = self._last_y[idx]
+        return sub
+
     @staticmethod
     def _interp(queries, x0, x1, y0, y1):
         """np.interp's segment arithmetic: ``slope * (x - x0) + y0`` with
@@ -276,7 +306,7 @@ class MissCurveBatch:
         # row's true segments.  Padded knots equal the last real knot, so
         # they are only counted when x lies past the end — which the
         # clamp-to-last mask below handles anyway.
-        j = np.sum(self.sizes2d <= q[:, None], axis=1) - 1
+        j = (self.sizes2d <= q[:, None]).sum(axis=1) - 1
         j = np.minimum(np.maximum(j, 0), self._seg_hi)
         rows = self._rows
         result = self._interp(
@@ -291,6 +321,54 @@ class MissCurveBatch:
         if self._value_divisor is not None:
             result = result / self._value_divisor
         return result
+
+    def balance_bisect(
+        self,
+        pressure: float | np.ndarray,
+        capacity: float | np.ndarray,
+        iters: int,
+    ) -> np.ndarray:
+        """Lockstep bisection of ``m(o) = pressure * o`` per lane -> (K,).
+
+        The inner loop of the sharing fixed point, with the per-iteration
+        evaluation inlined: each round runs exactly ``__call__``'s
+        arithmetic (same operations, same order, so results stay bitwise
+        equal to ``batch(mid)``) without re-resolving attributes or
+        re-validating shapes 60 times.  Returns the midpoint of the final
+        bracket; lanes that an early-exit rule covers (zero curves,
+        at-capacity lanes) return whatever the bracket converges to and
+        must be masked by the caller, as before.
+        """
+        k = len(self.curves)
+        lo = np.zeros(k)
+        hi = np.full(k, capacity, dtype=np.float64)
+        sizes2d, values2d = self.sizes2d, self.values2d
+        sizes_flat, values_flat = sizes2d.ravel(), values2d.ravel()
+        row_base = self._rows * sizes2d.shape[1]  # flat offsets of column 0
+        seg_hi = self._seg_hi
+        first_x, first_y = self._first_x, self._first_y
+        last_x, last_y = self._last_x, self._last_y
+        arg_scale, divisor = self._arg_scale, self._value_divisor
+        for _ in range(iters):
+            mid = 0.5 * (lo + hi)
+            q = mid if arg_scale is None else mid * arg_scale
+            j = (sizes2d <= q[:, None]).sum(axis=1) - 1
+            flat = row_base + j.clip(0, seg_hi)
+            x0 = sizes_flat.take(flat)
+            y0 = values_flat.take(flat)
+            denom = sizes_flat.take(flat + 1) - x0
+            slope = (values_flat.take(flat + 1) - y0) / np.where(
+                denom == 0.0, 1.0, denom
+            )
+            val = slope * (q - x0) + y0
+            val = np.where(q <= first_x, first_y, val)
+            val = np.where(q >= last_x, last_y, val)
+            if divisor is not None:
+                val = val / divisor
+            cond = val >= pressure * mid
+            lo = np.where(cond, mid, lo)
+            hi = np.where(cond, hi, mid)
+        return 0.5 * (lo + hi)
 
     def at_grid(self, grid: Sequence[float] | np.ndarray) -> np.ndarray:
         """Evaluate every curve on a shared capacity grid -> (K, Q).

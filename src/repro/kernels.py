@@ -41,10 +41,27 @@ _ENV_FLAG = "REPRO_SCALAR_KERNELS"
 
 _VECTORIZED = os.environ.get(_ENV_FLAG, "") != "1"
 
+#: Environment flag for the cross-job mega-batch path (``=0`` disables).
+#: Mirrors the in-process switch the same way ``REPRO_SCALAR_KERNELS``
+#: does, so worker processes inherit the caller's choice.
+_MEGA_ENV_FLAG = "REPRO_MEGA_BATCH"
+
+_MEGA_BATCH = os.environ.get(_MEGA_ENV_FLAG, "") != "0"
+
 
 def use_vectorized() -> bool:
     """True when the vectorized kernels are active (the default)."""
     return _VECTORIZED
+
+
+def use_mega_batch() -> bool:
+    """True when cross-job mega-batch kernels are active (the default).
+
+    Mega-batching stacks many same-chip jobs into one leading batch axis
+    (see :mod:`repro.runner.mega`); it builds on the vectorized kernels,
+    so forcing :func:`scalar_reference` also disables it.
+    """
+    return _MEGA_BATCH and _VECTORIZED
 
 
 @contextmanager
@@ -69,3 +86,28 @@ def scalar_reference() -> Iterator[None]:
             os.environ.pop(_ENV_FLAG, None)
         else:
             os.environ[_ENV_FLAG] = previous_env
+
+
+@contextmanager
+def per_mix_reference() -> Iterator[None]:
+    """Run sweeps through the per-mix (one job at a time) kernel path.
+
+    Disables only the cross-job mega-batching — the vectorized per-mix
+    kernels stay active — which is the trusted reference the mega-batch
+    equivalence tests pin against and the honest baseline for the runner
+    throughput benchmark.  Exported via ``REPRO_MEGA_BATCH=0`` so worker
+    processes started inside the block pick the same path.
+    """
+    global _MEGA_BATCH
+    previous = _MEGA_BATCH
+    previous_env = os.environ.get(_MEGA_ENV_FLAG)
+    _MEGA_BATCH = False
+    os.environ[_MEGA_ENV_FLAG] = "0"
+    try:
+        yield
+    finally:
+        _MEGA_BATCH = previous
+        if previous_env is None:
+            os.environ.pop(_MEGA_ENV_FLAG, None)
+        else:
+            os.environ[_MEGA_ENV_FLAG] = previous_env

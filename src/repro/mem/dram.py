@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import MemoryConfig
 from repro.util.units import CACHE_LINE_BYTES
 
@@ -55,6 +57,22 @@ class DramModel:
             raise ValueError("demand cannot be negative")
         capacity = self.total_bytes_per_cycle()
         rho = min(demand_bytes_per_cycle / capacity, 0.99)
+        service = self.service_cycles_per_line()
+        return service * rho / (2.0 * (1.0 - rho))
+
+    def queueing_delay_batch(self, demand_bytes_per_cycle: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`queueing_delay` over a demand vector.
+
+        Element *i* is bitwise-identical to
+        ``queueing_delay(float(demand[i]))`` — the same divide, clamp, and
+        M/D/1 expression applied elementwise, so the mega-batch bandwidth
+        fixed point reproduces the per-mix solve exactly.
+        """
+        demand = np.asarray(demand_bytes_per_cycle, dtype=np.float64)
+        if np.any(demand < 0):
+            raise ValueError("demand cannot be negative")
+        capacity = self.total_bytes_per_cycle()
+        rho = np.minimum(demand / capacity, 0.99)
         service = self.service_cycles_per_line()
         return service * rho / (2.0 * (1.0 - rho))
 

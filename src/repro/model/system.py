@@ -29,6 +29,7 @@ from repro.mem.dram import DramModel
 from repro.model.energy import EnergyBreakdown, EnergyParams, energy_per_instruction
 from repro.noc.traffic import TrafficClass
 from repro.nuca.base import NucaScheme, SchemeResult, build_problem
+from repro.sched.cost_model import spread_hops_batch
 from repro.sched.problem import PlacementProblem
 from repro.util.units import CACHE_LINE_BYTES
 from repro.workloads.mixes import Mix
@@ -152,19 +153,50 @@ class AnalyticSystem:
         dram_extra = self._solve_bandwidth_fixed_point(geometry)
         return self._finalize(mix, problem, result, geometry, dram_extra)
 
+    def evaluate_solutions_batch(
+        self, items: list[tuple[Mix, PlacementProblem, SchemeResult]]
+    ) -> list[MixEvaluation]:
+        """Evaluate many (mix, problem, result) triples as stacked passes.
+
+        The mega-batch runner's scoring kernel: every item's VC hop tables
+        are computed in one chunked pass per shared distance matrix, and
+        the 25-iteration DRAM bandwidth fixed point runs once per
+        thread-count cohort as (B, T) row operations.  Item *i*'s
+        evaluation is bitwise-identical to ``evaluate_solution(*items[i])``
+        — rows never mix, reductions keep per-row sequential order, and
+        the final assembly is the per-item :meth:`_finalize` verbatim.
+        """
+        if not use_vectorized() or len(items) <= 1:
+            return [self.evaluate_solution(*item) for item in items]
+        geometries = self._thread_geometries_batch(items)
+        dram_extra = [0.0] * len(items)
+        cohorts: dict[int, list[int]] = {}
+        for i, geometry in enumerate(geometries):
+            if geometry:
+                cohorts.setdefault(len(geometry), []).append(i)
+            # else: empty geometry has zero demand, dram_extra stays 0.0
+        for idxs in cohorts.values():
+            columns = [self._geometry_arrays(geometries[i]) for i in idxs]
+            stacked = {
+                key: np.stack([arrays[key] for arrays in columns])
+                for key in columns[0]
+            }
+            extras = self._solve_bandwidth_fixed_point_rows(stacked)
+            for row, i in enumerate(idxs):
+                dram_extra[i] = float(extras[row])
+        return [
+            self._finalize(mix, problem, result, geometries[i], dram_extra[i])
+            for i, (mix, problem, result) in enumerate(items)
+        ]
+
     # -- step 1: placement-dependent geometry --------------------------------
 
-    def _thread_geometry(
-        self, mix: Mix, problem: PlacementProblem, result: SchemeResult
-    ) -> list[dict]:
+    def _spread_tables(
+        self, problem: PlacementProblem, result: SchemeResult
+    ) -> tuple[dict[int, dict[int, float]], dict[int, float]]:
+        """Per-VC normalized access spread over banks and miss ratio."""
         topo = problem.topology
-        dist = topo.distance_matrix
-        mcs = MemoryControllers(topo, self.config.memory)  # type: ignore[arg-type]
-        mc_dist = mcs.mean_distance_matrix
         solution = result.solution
-
-        # Per-VC: normalized access spread over banks, miss ratio, and
-        # per-bank expected distances.
         vc_spread: dict[int, dict[int, float]] = {}
         vc_miss_ratio: dict[int, float] = {}
         for vc in problem.vcs:
@@ -185,25 +217,138 @@ class AnalyticSystem:
                 vc_spread[vc.vc_id] = {home: 1.0}
             size = solution.vc_sizes.get(vc.vc_id, 0.0)
             vc_miss_ratio[vc.vc_id] = min(float(vc.miss_curve(size)), rate) / rate
+        return vc_spread, vc_miss_ratio
 
-        # Vectorized path: per VC, the expected access distance from EVERY
-        # possible core in one spiral of array ops (terms accumulate in the
-        # spread's iteration order via cumsum, bitwise the scalar sums);
-        # threads then just index the per-VC vectors.
+    @staticmethod
+    def _spread_arrays(
+        vc_spread: dict[int, dict[int, float]],
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Each VC's spread as ``(banks, fracs)`` arrays, in dict order."""
+        out = []
+        for spread in vc_spread.values():
+            banks = np.fromiter(spread.keys(), np.int64, len(spread))
+            fracs = np.fromiter(spread.values(), np.float64, len(spread))
+            out.append((banks, fracs))
+        return out
+
+    def _vc_hop_tables(
+        self,
+        dist,
+        mc_dist: np.ndarray,
+        vc_spread: dict[int, dict[int, float]],
+    ) -> tuple[dict[int, np.ndarray], dict[int, float]]:
+        """Per VC, the expected access distance from EVERY possible core
+        (terms accumulate in the spread's iteration order via cumsum,
+        bitwise the scalar sums); threads then just index the vectors."""
         vc_core_hops: dict[int, np.ndarray] = {}
         vc_mc_hops: dict[int, float] = {}
-        if use_vectorized():
-            for vc_id, spread in vc_spread.items():
-                banks = np.fromiter(spread.keys(), np.int64, len(spread))
-                fracs = np.fromiter(spread.values(), np.float64, len(spread))
+        if not vc_spread:
+            return vc_core_hops, vc_mc_hops
+        if isinstance(dist, np.ndarray):
+            hops, mc_hops = spread_hops_batch(
+                dist, mc_dist, self._spread_arrays(vc_spread)
+            )
+            for i, vc_id in enumerate(vc_spread):
+                vc_core_hops[vc_id] = hops[i]
+                vc_mc_hops[vc_id] = float(mc_hops[i])
+        else:
+            # Lazy (large-mesh) matrices only support 1-D column gathers.
+            for vc_id, (banks, fracs) in zip(
+                vc_spread, self._spread_arrays(vc_spread)
+            ):
                 vc_core_hops[vc_id] = np.cumsum(
                     fracs[None, :] * dist[:, banks], axis=1
                 )[:, -1]
-                vc_mc_hops[vc_id] = float(
-                    np.cumsum(fracs * mc_dist[banks])[-1]
-                )
+                vc_mc_hops[vc_id] = float(np.cumsum(fracs * mc_dist[banks])[-1])
+        return vc_core_hops, vc_mc_hops
 
+    def _thread_geometry(
+        self, mix: Mix, problem: PlacementProblem, result: SchemeResult
+    ) -> list[dict]:
+        topo = problem.topology
+        dist = topo.distance_matrix
+        mcs = MemoryControllers(topo, self.config.memory)  # type: ignore[arg-type]
+        mc_dist = mcs.mean_distance_matrix
+
+        vc_spread, vc_miss_ratio = self._spread_tables(problem, result)
+        vc_core_hops: dict[int, np.ndarray] = {}
+        vc_mc_hops: dict[int, float] = {}
+        if use_vectorized():
+            vc_core_hops, vc_mc_hops = self._vc_hop_tables(
+                dist, mc_dist, vc_spread
+            )
+        return self._geometry_from_spreads(
+            mix, problem, result, dist, mc_dist,
+            vc_spread, vc_miss_ratio, vc_core_hops, vc_mc_hops,
+        )
+
+    def _thread_geometries_batch(
+        self, items: list[tuple[Mix, PlacementProblem, SchemeResult]]
+    ) -> list[list[dict]]:
+        """Geometry dicts for many items, batching all VC hop tables that
+        share a (dense, process-shared) distance matrix into one pass."""
+        spreads = [
+            self._spread_tables(problem, result)
+            for _, problem, result in items
+        ]
+        dists = []
+        mc_dists = []
+        for _, problem, _ in items:
+            topo = problem.topology
+            dists.append(topo.distance_matrix)
+            mc_dists.append(
+                MemoryControllers(  # type: ignore[arg-type]
+                    topo, self.config.memory
+                ).mean_distance_matrix
+            )
+        hop_tables: list[tuple[dict[int, np.ndarray], dict[int, float]]] = []
+        by_dist: dict[int, list[int]] = {}
+        for i, dist in enumerate(dists):
+            hop_tables.append(({}, {}))
+            if isinstance(dist, np.ndarray):
+                by_dist.setdefault(id(dist), []).append(i)
+            else:
+                hop_tables[i] = self._vc_hop_tables(
+                    dist, mc_dists[i], spreads[i][0]
+                )
+        for idxs in by_dist.values():
+            flat: list[tuple[np.ndarray, np.ndarray]] = []
+            for i in idxs:
+                flat.extend(self._spread_arrays(spreads[i][0]))
+            if not flat:
+                continue
+            hops, mc_hops = spread_hops_batch(dists[idxs[0]], mc_dists[idxs[0]], flat)
+            pos = 0
+            for i in idxs:
+                core_table: dict[int, np.ndarray] = {}
+                mc_table: dict[int, float] = {}
+                for vc_id in spreads[i][0]:
+                    core_table[vc_id] = hops[pos]
+                    mc_table[vc_id] = float(mc_hops[pos])
+                    pos += 1
+                hop_tables[i] = (core_table, mc_table)
+        return [
+            self._geometry_from_spreads(
+                mix, problem, result, dists[i], mc_dists[i],
+                spreads[i][0], spreads[i][1], *hop_tables[i],
+            )
+            for i, (mix, problem, result) in enumerate(items)
+        ]
+
+    def _geometry_from_spreads(
+        self,
+        mix: Mix,
+        problem: PlacementProblem,
+        result: SchemeResult,
+        dist,
+        mc_dist: np.ndarray,
+        vc_spread: dict[int, dict[int, float]],
+        vc_miss_ratio: dict[int, float],
+        vc_core_hops: dict[int, np.ndarray],
+        vc_mc_hops: dict[int, float],
+    ) -> list[dict]:
         profile_of = {p.process_id: p.profile for p in mix.processes}
+        solution = result.solution
         process_of_thread = {
             t: p.process_id for p in mix.processes for t in p.thread_ids
         }
@@ -345,6 +490,54 @@ class AnalyticSystem:
         for _ in range(self.iterations):
             demand = self._demand(geometry, dram_extra)
             target = self.dram.queueing_delay(demand)
+            dram_extra = (
+                self.damping * dram_extra + (1.0 - self.damping) * target
+            )
+        return dram_extra
+
+    def _demand_rows(
+        self, stacked: dict[str, np.ndarray], dram_extra: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise :meth:`_demand_from_arrays` over (B, T) stacks: the
+        same elementwise expressions with a per-row extra latency, reduced
+        per row with sequential adds (cumsum along the thread axis), so
+        row *b* is bitwise the single-item column reduction."""
+        noc = self.config.noc
+        core = self.core_model.config
+        onchip = (
+            2.0 * noc.hop_latency * stacked["mean_hops"]
+            + self.config.cache.bank_latency
+        )
+        mem_lat = (
+            2.0 * noc.hop_latency * stacked["mc_hops"]
+            + self.config.memory.zero_load_latency
+            + dram_extra[:, None]
+        )
+        offchip = stacked["miss_ratio"] * mem_lat
+        exposed = onchip / core.mlp_onchip + offchip / core.mlp_offchip
+        cpi = stacked["base_cpi"] + (stacked["apki"] / 1000.0) * exposed
+        ipc = 1.0 / cpi
+        mpki = stacked["apki"] * stacked["miss_ratio"]
+        misses_per_cycle = ipc * mpki / 1000.0
+        terms = (
+            misses_per_cycle
+            * CACHE_LINE_BYTES
+            * (1.0 + stacked["write_fraction"])
+        )
+        return np.cumsum(terms, axis=1)[:, -1]
+
+    def _solve_bandwidth_fixed_point_rows(
+        self, stacked: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """The damped fixed point for B same-thread-count evaluations at
+        once.  Rows never interact: demand, queueing delay, and damping are
+        all elementwise, so row *b* walks the exact float64 trajectory of
+        :meth:`_solve_bandwidth_fixed_point` on item *b* alone."""
+        rows = next(iter(stacked.values())).shape[0]
+        dram_extra = np.zeros(rows, dtype=np.float64)
+        for _ in range(self.iterations):
+            demand = self._demand_rows(stacked, dram_extra)
+            target = self.dram.queueing_delay_batch(demand)
             dram_extra = (
                 self.damping * dram_extra + (1.0 - self.damping) * target
             )

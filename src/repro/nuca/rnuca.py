@@ -21,12 +21,16 @@ local tile), so threads are pinned randomly as in the paper's evaluation.
 
 from __future__ import annotations
 
-from repro.cache.miss_curve import MissCurveBatch
+from typing import Any
+
+import numpy as np
+
 from repro.kernels import use_vectorized
 from repro.nuca.base import NucaScheme, SchemeResult
 from repro.nuca.sharing import (
+    SharingPlan,
     shared_cache_occupancies,
-    shared_cache_occupancies_grouped,
+    solve_sharing_plans,
 )
 from repro.sched.problem import PlacementProblem, PlacementSolution
 from repro.sched.thread_placement import random_thread_placement
@@ -51,10 +55,19 @@ class RNuca(NucaScheme):
     def __init__(self, seed: int = 0):
         self.seed = seed
 
-    def run(self, problem: PlacementProblem) -> SchemeResult:
+    def sharing_stage(
+        self, problem: PlacementProblem
+    ) -> tuple[SharingPlan | None, Any]:
+        """Stage the per-bank LRU sharing solves as one plan.
+
+        Each bank shares capacity between its local thread's private data
+        and every shared VC's 1/N slice — one independent fixed point per
+        bank, expressed as one plan group per bank at the bank capacity.
+        The mega-batch runner merges these groups with every other staged
+        solve (other mixes, other schemes) into one lockstep bisection.
+        """
         topo = problem.topology
         tiles = topo.tiles
-        bank_bytes = float(problem.bank_bytes)
         thread_cores = random_thread_placement(problem, self.seed)
 
         thread_vcs = {
@@ -68,62 +81,56 @@ class RNuca(NucaScheme):
             if vc.kind is not VCKind.THREAD
             and sum(problem.accessors_of(vc.vc_id).values()) > 0
         ]
+        thread_on_bank = {core: t for t, core in thread_cores.items()}
 
-        # Per-bank LRU sharing between the local thread's private data and
-        # every shared VC's 1/N slice.  Each bank is an independent sharing
-        # fixed point; the vectorized path solves all of them in lockstep
-        # through one grouped curve batch (bitwise-identical occupancies).
+        curves, arg_scale, divisors, groups = [], [], [], []
+        all_labels: list[tuple[str, int]] = []
+        for bank in range(tiles):
+            start = len(curves)
+            local_thread = thread_on_bank.get(bank)
+            if local_thread is not None and local_thread in thread_vcs:
+                curves.append(thread_vcs[local_thread].miss_curve)
+                arg_scale.append(1.0)
+                divisors.append(1.0)
+                all_labels.append(("private", local_thread))
+            for vc in shared_vcs:
+                curves.append(vc.miss_curve)
+                arg_scale.append(float(tiles))
+                divisors.append(float(tiles))
+                all_labels.append(("shared", vc.vc_id))
+            groups.append(tuple(range(start, len(curves))))
+        context = {
+            "thread_cores": thread_cores,
+            "thread_vcs": thread_vcs,
+            "shared_vcs": shared_vcs,
+            "labels": all_labels,
+        }
+        plan = None
+        if curves:
+            plan = SharingPlan(
+                curves=tuple(curves),
+                groups=tuple(groups),
+                capacities=(float(problem.bank_bytes),) * len(groups),
+                arg_scale=tuple(arg_scale),
+                value_divisor=tuple(divisors),
+            )
+        return plan, context
+
+    def finish_sharing(
+        self,
+        problem: PlacementProblem,
+        context: Any,
+        occupancies: np.ndarray,
+    ) -> SchemeResult:
+        """Fold solved per-bank occupancies into the R-NUCA solution."""
+        tiles = problem.topology.tiles
+        thread_cores = context["thread_cores"]
+        thread_vcs = context["thread_vcs"]
+        shared_vcs = context["shared_vcs"]
         core_of = thread_cores
-        thread_on_bank = {core: t for t, core in core_of.items()}
         private_occ: dict[int, float] = {}
         shared_occ: dict[int, float] = {vc.vc_id: 0.0 for vc in shared_vcs}
-        all_labels: list[tuple[str, int]] = []
-        if use_vectorized():
-            curves, arg_scale, divisors, groups = [], [], [], []
-            for bank in range(tiles):
-                start = len(curves)
-                local_thread = thread_on_bank.get(bank)
-                if local_thread is not None and local_thread in thread_vcs:
-                    curves.append(thread_vcs[local_thread].miss_curve)
-                    arg_scale.append(1.0)
-                    divisors.append(1.0)
-                    all_labels.append(("private", local_thread))
-                for vc in shared_vcs:
-                    curves.append(vc.miss_curve)
-                    arg_scale.append(float(tiles))
-                    divisors.append(float(tiles))
-                    all_labels.append(("shared", vc.vc_id))
-                groups.append(range(start, len(curves)))
-            occupancies: list[float] = []
-            if curves:
-                batch = MissCurveBatch(
-                    curves, arg_scale=arg_scale, value_divisor=divisors
-                )
-                occupancies = shared_cache_occupancies_grouped(
-                    batch, groups, bank_bytes
-                ).tolist()
-        else:
-            occupancies = []
-            for bank in range(tiles):
-                participants = []
-                local_thread = thread_on_bank.get(bank)
-                if local_thread is not None and local_thread in thread_vcs:
-                    curve = thread_vcs[local_thread].miss_curve
-                    participants.append(curve.__call__)
-                    all_labels.append(("private", local_thread))
-                for vc in shared_vcs:
-                    curve = vc.miss_curve
-
-                    def slice_fn(occ: float, curve=curve, n=tiles) -> float:
-                        return float(curve(occ * n)) / n
-
-                    participants.append(slice_fn)
-                    all_labels.append(("shared", vc.vc_id))
-                if participants:
-                    occupancies.extend(
-                        shared_cache_occupancies(participants, bank_bytes)
-                    )
-        for (kind, ident), o in zip(all_labels, occupancies):
+        for (kind, ident), o in zip(context["labels"], occupancies):
             if kind == "private":
                 private_occ[ident] = o
             else:
@@ -145,3 +152,61 @@ class RNuca(NucaScheme):
 
         solution = PlacementSolution(vc_sizes, vc_allocation, thread_cores)
         return SchemeResult(self.name, solution)
+
+    def run(self, problem: PlacementProblem) -> SchemeResult:
+        # Per-bank LRU sharing between the local thread's private data and
+        # every shared VC's 1/N slice.  Each bank is an independent sharing
+        # fixed point; the vectorized path solves all of them in lockstep
+        # through one grouped curve batch (bitwise-identical occupancies).
+        if use_vectorized():
+            plan, context = self.sharing_stage(problem)
+            occupancies = (
+                solve_sharing_plans([plan])[0] if plan is not None
+                else np.zeros(0)
+            )
+            return self.finish_sharing(problem, context, occupancies)
+
+        topo = problem.topology
+        tiles = topo.tiles
+        bank_bytes = float(problem.bank_bytes)
+        thread_cores = random_thread_placement(problem, self.seed)
+        thread_vcs = {
+            vc.owner_thread: vc
+            for vc in problem.vcs
+            if vc.kind is VCKind.THREAD and vc.owner_thread is not None
+        }
+        shared_vcs = [
+            vc
+            for vc in problem.vcs
+            if vc.kind is not VCKind.THREAD
+            and sum(problem.accessors_of(vc.vc_id).values()) > 0
+        ]
+        thread_on_bank = {core: t for t, core in thread_cores.items()}
+        all_labels: list[tuple[str, int]] = []
+        occupancies = []
+        for bank in range(tiles):
+            participants = []
+            local_thread = thread_on_bank.get(bank)
+            if local_thread is not None and local_thread in thread_vcs:
+                curve = thread_vcs[local_thread].miss_curve
+                participants.append(curve.__call__)
+                all_labels.append(("private", local_thread))
+            for vc in shared_vcs:
+                curve = vc.miss_curve
+
+                def slice_fn(occ: float, curve=curve, n=tiles) -> float:
+                    return float(curve(occ * n)) / n
+
+                participants.append(slice_fn)
+                all_labels.append(("shared", vc.vc_id))
+            if participants:
+                occupancies.extend(
+                    shared_cache_occupancies(participants, bank_bytes)
+                )
+        context = {
+            "thread_cores": thread_cores,
+            "thread_vcs": thread_vcs,
+            "shared_vcs": shared_vcs,
+            "labels": all_labels,
+        }
+        return self.finish_sharing(problem, context, np.asarray(occupancies))

@@ -8,12 +8,16 @@ Thread placement is irrelevant by construction (Sec VI-A measures <= 1%).
 
 from __future__ import annotations
 
-from repro.cache.miss_curve import MissCurveBatch
+from typing import Any
+
+import numpy as np
+
 from repro.kernels import use_vectorized
 from repro.nuca.base import NucaScheme, SchemeResult
 from repro.nuca.sharing import (
+    SharingPlan,
     shared_cache_occupancies,
-    shared_cache_occupancies_batch,
+    solve_sharing_plans,
 )
 from repro.sched.problem import PlacementProblem, PlacementSolution
 from repro.sched.thread_placement import random_thread_placement
@@ -25,21 +29,38 @@ class SNuca(NucaScheme):
     def __init__(self, seed: int = 0):
         self.seed = seed
 
-    def run(self, problem: PlacementProblem) -> SchemeResult:
-        tiles = problem.topology.tiles
+    def sharing_stage(
+        self, problem: PlacementProblem
+    ) -> tuple[SharingPlan | None, Any]:
+        """Stage this invocation's LRU-sharing solve as a plan.
+
+        The whole LLC is one shared pool: one group holding every active
+        VC's curve at the chip's total capacity.  Splitting the plan from
+        :meth:`finish_sharing` lets the mega-batch runner merge many
+        mixes' S-NUCA solves into one lockstep bisection.
+        """
         active = [
             vc for vc in problem.vcs
             if sum(problem.accessors_of(vc.vc_id).values()) > 0
         ]
-        miss_fns = [vc.miss_curve for vc in active]
-        if use_vectorized() and miss_fns:
-            occupancies = shared_cache_occupancies_batch(
-                MissCurveBatch(miss_fns), float(problem.total_bytes)
+        plan = None
+        if active:
+            plan = SharingPlan(
+                curves=tuple(vc.miss_curve for vc in active),
+                groups=(tuple(range(len(active))),),
+                capacities=(float(problem.total_bytes),),
             )
-        else:
-            occupancies = shared_cache_occupancies(
-                [fn.__call__ for fn in miss_fns], float(problem.total_bytes)
-            )
+        return plan, active
+
+    def finish_sharing(
+        self,
+        problem: PlacementProblem,
+        context: Any,
+        occupancies: np.ndarray,
+    ) -> SchemeResult:
+        """Turn solved occupancies into the S-NUCA placement solution."""
+        tiles = problem.topology.tiles
+        active = context
         vc_sizes: dict[int, float] = {}
         vc_allocation: dict[int, dict[int, float]] = {}
         for vc, occ in zip(active, occupancies):
@@ -52,3 +73,17 @@ class SNuca(NucaScheme):
         thread_cores = random_thread_placement(problem, self.seed)
         solution = PlacementSolution(vc_sizes, vc_allocation, thread_cores)
         return SchemeResult(self.name, solution)
+
+    def run(self, problem: PlacementProblem) -> SchemeResult:
+        plan, context = self.sharing_stage(problem)
+        if use_vectorized() and plan is not None:
+            occupancies = solve_sharing_plans([plan])[0]
+        else:
+            miss_fns = [vc.miss_curve for vc in context]
+            occupancies = np.asarray(
+                shared_cache_occupancies(
+                    [fn.__call__ for fn in miss_fns],
+                    float(problem.total_bytes),
+                )
+            )
+        return self.finish_sharing(problem, context, occupancies)

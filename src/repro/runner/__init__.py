@@ -18,7 +18,14 @@ See docs/ARCHITECTURE.md for how a sweep flows through the runner.
 """
 
 from repro.runner.job import Job
+from repro.runner.mega import (
+    BatchableSpec,
+    MegaBatchRunner,
+    batchable_spec,
+    register_batchable,
+)
 from repro.runner.pool import ProcessPoolRunner, RunnerStats, run_jobs
+from repro.runner.shm import SegmentHandle, SharedArrayPool
 from repro.runner.store import (
     DEFAULT_CACHE_DIR,
     MISS,
@@ -29,12 +36,18 @@ from repro.runner.store import (
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "BatchableSpec",
     "Job",
     "MISS",
+    "MegaBatchRunner",
     "NullStore",
     "ProcessPoolRunner",
     "ResultStore",
     "RunnerStats",
+    "SegmentHandle",
+    "SharedArrayPool",
     "StoreStats",
+    "batchable_spec",
+    "register_batchable",
     "run_jobs",
 ]

@@ -107,6 +107,18 @@ class ProcessPoolRunner:
                 pending.append(i)
         if not pending:
             return results
+        self._execute_pending(jobs, pending, results)
+        return results
+
+    def _execute_pending(
+        self, jobs: list[Job], pending: list[int], results: list[Any]
+    ) -> None:
+        """Execute the cache-missing *pending* indices into *results*.
+
+        The override point for batching runners: everything above this
+        (cache probing, ordering, stats) is shared; everything below is
+        how the missing work actually runs.
+        """
         if self.jobs == 1 or len(pending) == 1:
             with _preserved_global_rng():
                 for i in pending:
@@ -139,7 +151,6 @@ class ProcessPoolRunner:
                     )
                 if first_error is not None:
                     raise first_error
-        return results
 
     # -- internals -----------------------------------------------------------
 

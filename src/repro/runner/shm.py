@@ -1,0 +1,315 @@
+"""Zero-copy shared-memory array banks for the runner's data plane.
+
+The brain/brawn split: the parent process *plans* (which jobs, which
+batches) and publishes the hot read-only arrays — geometry matrices,
+miss-curve banks, per-group problem arrays — into POSIX shared memory
+exactly once, addressed by content digest.  Workers *attach* read-only
+views instead of unpickling private copies, so shipping a batch to a
+worker costs a few hundred bytes of :class:`SegmentHandle` regardless of
+how large the arrays are.
+
+Lifecycle rules:
+
+* **create-or-attach is idempotent** — two processes racing to publish
+  the same digest converge on one segment.  The payload is written before
+  the 8-byte ready magic, and racing writers write identical bytes (the
+  name *is* the content hash), so a late attacher that finds the magic
+  missing can safely finish the write itself.
+* **segments are refcounted per process** — :func:`attach` /
+  :func:`detach` keep one mapping per segment name; the last detach
+  closes it.
+* **the owner unlinks** — :meth:`SharedArrayPool.close` (also registered
+  ``atexit``) unlinks every segment this process created.  Crashed
+  *workers* hold only attachments, which the OS reclaims with the
+  process; a crashed *owner* is covered by the stdlib resource tracker,
+  which still has the creator-side registration and unlinks at exit.
+* **graceful fallback** — when ``/dev/shm`` is unavailable (or
+  ``REPRO_NO_SHM=1``), handles carry the pickled arrays inline and
+  everything degrades to the classic copy-per-worker behavior.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+#: Written at offset 0 *after* the payload: attachers spin on it so a
+#: partially written segment is never read.
+_MAGIC = b"RPROSHM1"
+_HEADER_BYTES = 64
+_ALIGN = 64
+
+#: Kill switch: ``REPRO_NO_SHM=1`` forces the inline-pickle fallback.
+_ENV_DISABLE = "REPRO_NO_SHM"
+
+#: Segment-name prefix; cleanup tooling may sweep ``/dev/shm/repro-*``.
+NAME_PREFIX = "repro-"
+
+#: How long an attacher waits for a racing creator before taking over
+#: the write itself.
+READY_TIMEOUT = 5.0
+
+_BROKEN = False  # set after the first OS-level shared-memory failure
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one array inside a segment."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SegmentHandle:
+    """Picklable address of one published array bank.
+
+    ``name is None`` marks the pickling fallback: *inline* then holds the
+    serialized arrays and no shared memory is involved.
+    """
+
+    digest: str
+    name: str | None
+    size: int
+    arrays: tuple[ArraySpec, ...]
+    inline: bytes | None = None
+
+
+def shm_enabled() -> bool:
+    """Whether new publishes will even try POSIX shared memory."""
+    return os.environ.get(_ENV_DISABLE, "") != "1" and not _BROKEN
+
+
+def _segment_name(digest: str) -> str:
+    return f"{NAME_PREFIX}{digest[:32]}"
+
+
+def _layout(
+    arrays: Mapping[str, np.ndarray],
+) -> tuple[dict[str, np.ndarray], tuple[ArraySpec, ...], int]:
+    """Contiguous copies, per-array specs, and the total segment size."""
+    contiguous = {k: np.ascontiguousarray(v) for k, v in arrays.items()}
+    specs = []
+    offset = _HEADER_BYTES
+    for key, arr in contiguous.items():
+        offset = -(-offset // _ALIGN) * _ALIGN
+        specs.append(ArraySpec(key, arr.dtype.str, arr.shape, offset))
+        offset += arr.nbytes
+    return contiguous, tuple(specs), offset
+
+
+def _write_payload(
+    segment: shared_memory.SharedMemory,
+    contiguous: Mapping[str, np.ndarray],
+    specs: tuple[ArraySpec, ...],
+) -> None:
+    """Write arrays then the ready magic (in that order — the magic is
+    the publication barrier)."""
+    for spec in specs:
+        view = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=segment.buf,
+            offset=spec.offset,
+        )
+        view[...] = contiguous[spec.key]
+    segment.buf[: len(_MAGIC)] = _MAGIC
+
+
+def _is_ready(segment: shared_memory.SharedMemory) -> bool:
+    return bytes(segment.buf[: len(_MAGIC)]) == _MAGIC
+
+
+def _wait_ready(
+    segment: shared_memory.SharedMemory, timeout: float = READY_TIMEOUT
+) -> bool:
+    """Spin (with backoff) until the creator publishes the ready magic."""
+    deadline = time.monotonic() + timeout
+    delay = 1e-4
+    while not _is_ready(segment):
+        if time.monotonic() >= deadline:
+            return False
+        time.sleep(delay)
+        delay = min(delay * 2, 0.01)
+    return True
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.
+
+    Python <= 3.12 registers every attachment with the resource tracker
+    as if it were a creation.  Our workers share the parent's tracker
+    process (fork inherits it), whose cache is a per-name set: duplicate
+    registrations collapse, and the owner's single ``unlink()`` clears
+    the entry, so attach-side registrations are harmless dedup — and
+    manually unregistering here would erase the *creator's* entry (same
+    set!), both breaking the crashed-owner safety net and making the
+    owner's unlink-time unregister a noisy tracker KeyError."""
+    return shared_memory.SharedMemory(name=name)
+
+
+def _inline_handle(digest: str, arrays: Mapping[str, np.ndarray]) -> SegmentHandle:
+    payload = pickle.dumps(dict(arrays), protocol=pickle.HIGHEST_PROTOCOL)
+    return SegmentHandle(digest, None, len(payload), (), inline=payload)
+
+
+class SharedArrayPool:
+    """Owner-side registry of published, content-addressed segments.
+
+    One pool per publishing process; the runner owns one and closes it
+    (unlinking every segment it created) at shutdown.  ``publish`` is
+    memoized by digest, so re-publishing the same bank is free.
+    """
+
+    def __init__(self) -> None:
+        self._handles: dict[str, SegmentHandle] = {}
+        self._segments: dict[str, tuple[shared_memory.SharedMemory, bool]] = {}
+        atexit.register(self.close)
+
+    def publish(
+        self, digest: str, arrays: Mapping[str, np.ndarray]
+    ) -> SegmentHandle:
+        """Place *arrays* into the segment addressed by *digest*.
+
+        Create-or-attach: if another process (or an earlier crash) already
+        materialized the segment, this attaches and — if the ready magic
+        is absent past :data:`READY_TIMEOUT` — finishes the identical
+        write itself.  Falls back to an inline-pickle handle when shared
+        memory is unavailable."""
+        global _BROKEN
+        cached = self._handles.get(digest)
+        if cached is not None:
+            return cached
+        contiguous, specs, size = _layout(arrays)
+        if not shm_enabled():
+            handle = _inline_handle(digest, contiguous)
+            self._handles[digest] = handle
+            return handle
+        name = _segment_name(digest)
+        created = False
+        try:
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=size
+                )
+                created = True
+            except FileExistsError:
+                segment = _attach_segment(name)
+        except OSError:
+            _BROKEN = True
+            handle = _inline_handle(digest, contiguous)
+            self._handles[digest] = handle
+            return handle
+        if segment.size < size:
+            # A stale segment from an incompatible layout (should not
+            # happen for content-addressed names); don't fight over it.
+            segment.close()
+            handle = _inline_handle(digest, contiguous)
+            self._handles[digest] = handle
+            return handle
+        if created or not _wait_ready(segment):
+            _write_payload(segment, contiguous, specs)
+        handle = SegmentHandle(digest, name, size, specs)
+        self._handles[digest] = handle
+        self._segments[digest] = (segment, created)
+        return handle
+
+    def close(self) -> None:
+        """Close every mapping and unlink the segments this pool created.
+
+        Idempotent, and the pool stays usable — a later ``publish``
+        simply re-creates segments."""
+        segments, self._segments = self._segments, {}
+        self._handles.clear()
+        for segment, created in segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - live local views
+                pass
+            if created:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- worker-side attachment --------------------------------------------------
+
+#: name -> [segment, refcount]; one mapping per segment per process.
+_ATTACHMENTS: dict[str, list] = {}
+
+
+def attach(handle: SegmentHandle) -> dict[str, np.ndarray]:
+    """Materialize a handle's arrays in this process.
+
+    Shared-memory handles return zero-copy **read-only** views backed by
+    the segment; inline handles unpickle private copies.  Pair each
+    attach with a :func:`detach` (views must no longer be used after)."""
+    if handle.name is None:
+        assert handle.inline is not None
+        return pickle.loads(handle.inline)
+    entry = _ATTACHMENTS.get(handle.name)
+    if entry is None:
+        segment = _attach_segment(handle.name)
+        if not _wait_ready(segment):
+            segment.close()
+            raise TimeoutError(
+                f"shared segment {handle.name!r} never became ready"
+            )
+        entry = _ATTACHMENTS[handle.name] = [segment, 0]
+    segment = entry[0]
+    entry[1] += 1
+    views: dict[str, np.ndarray] = {}
+    for spec in handle.arrays:
+        view = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=segment.buf,
+            offset=spec.offset,
+        )
+        view.flags.writeable = False
+        views[spec.key] = view
+    return views
+
+
+def detach(handle: SegmentHandle) -> None:
+    """Drop one attachment reference; the last one closes the mapping."""
+    if handle.name is None:
+        return
+    entry = _ATTACHMENTS.get(handle.name)
+    if entry is None:
+        return
+    entry[1] -= 1
+    if entry[1] <= 0:
+        del _ATTACHMENTS[handle.name]
+        try:
+            entry[0].close()
+        except BufferError:  # pragma: no cover - caller kept views alive
+            pass
+
+
+def _close_attachments() -> None:  # pragma: no cover - exit path
+    for name in list(_ATTACHMENTS):
+        entry = _ATTACHMENTS.pop(name)
+        try:
+            entry[0].close()
+        except BufferError:
+            pass
+
+
+atexit.register(_close_attachments)

@@ -61,6 +61,38 @@ def convex_hull_indices(values: np.ndarray) -> list[int]:
     return hull
 
 
+#: Content-keyed memo for :func:`convex_hull_indices`.  Sweeps recompute
+#: hulls of identical curves constantly — duplicated app profiles within a
+#: mix, and Jigsaw variants allocating over the same miss-only curves —
+#: and the hull of a curve is pure data, safe to share (callers only read
+#: it).  Bounded by wholesale clearing; keys are the raw curve bytes.
+_HULL_CACHE: dict[bytes, list[int]] = {}
+_HULL_CACHE_MAX = 4096
+
+
+def _hull_of(values) -> list[int]:
+    if not isinstance(values, np.ndarray):
+        return convex_hull_indices(values)
+    key = values.tobytes()
+    hull = _HULL_CACHE.get(key)
+    if hull is None:
+        if len(_HULL_CACHE) >= _HULL_CACHE_MAX:
+            _HULL_CACHE.clear()
+        hull = convex_hull_indices(values)
+        _HULL_CACHE[key] = hull
+    return hull
+
+
+#: Memo for whole hull walks keyed by (budget, curve contents).  A sweep
+#: runs several policies over identical curve sets (Jigsaw's clustered and
+#: random variants allocate over the same miss-only curves), and the walk
+#: is deterministic in its inputs.  The counter's op accounting is
+#: replayed from the stored pop count — ``StepCounter.add`` aggregates, so
+#: one bulk add is indistinguishable from the loop's unit adds.
+_WALK_CACHE: dict[tuple, tuple[list[int], int]] = {}
+_WALK_CACHE_MAX = 1024
+
+
 def _greedy_hull_allocation(
     curves: list[np.ndarray],
     budget_quanta: int,
@@ -68,10 +100,20 @@ def _greedy_hull_allocation(
     step_name: str,
 ) -> list[int]:
     """Best-first walk over hull segments; returns quanta per curve."""
-    sizes = [0] * len(curves)
-    hulls = [convex_hull_indices(c) for c in curves]
+    hulls = [_hull_of(c) for c in curves]
     for h in hulls:
         counter.add(step_name, len(h))
+    walk_key = None
+    if all(isinstance(c, np.ndarray) for c in curves):
+        walk_key = (budget_quanta, tuple(c.tobytes() for c in curves))
+        cached = _WALK_CACHE.get(walk_key)
+        if cached is not None:
+            sizes, pops = cached
+            if pops:
+                counter.add(step_name, pops)
+            return list(sizes)  # callers mutate the result
+    sizes = [0] * len(curves)
+    pops = 0
     cursor = [0] * len(curves)  # index into each hull's vertex list
     heap: list[tuple[float, int]] = []
 
@@ -90,6 +132,7 @@ def _greedy_hull_allocation(
     while heap and remaining > 0:
         neg_benefit, d = heapq.heappop(heap)
         counter.add(step_name)
+        pops += 1
         if -neg_benefit <= 1e-12:
             break  # further capacity only adds latency
         h = hulls[d]
@@ -101,6 +144,10 @@ def _greedy_hull_allocation(
             cursor[d] += 1
             push_next(d)
         # Partial take: budget exhausted; loop exits via remaining == 0.
+    if walk_key is not None:
+        if len(_WALK_CACHE) >= _WALK_CACHE_MAX:
+            _WALK_CACHE.clear()
+        _WALK_CACHE[walk_key] = (list(sizes), pops)
     return sizes
 
 

@@ -188,6 +188,60 @@ def vc_mean_distance(
 
 
 # ---------------------------------------------------------------------------
+# Batched placement scoring (the mega-batch evaluation kernel)
+# ---------------------------------------------------------------------------
+
+#: Element budget of one transient block in :func:`spread_hops_batch`
+#: (``chunk * tiles * width`` float64 terms, ~32 MiB) — large enough to
+#: amortize the pass, small enough to never balloon on big meshes.
+_SPREAD_CHUNK_ELEMS = 4_000_000
+
+
+def spread_hops_batch(
+    dist: np.ndarray,
+    mc_dist: np.ndarray,
+    spreads: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expected access hops of many VC spreads in one array pass.
+
+    *spreads* holds one ``(banks, fracs)`` pair per VC — the banks its
+    accesses spread over and the normalized access fractions.  Returns
+    ``(hops, mc_hops)``: ``hops[i]`` is VC *i*'s expected distance from
+    every possible core (``(V, tiles)``), ``mc_hops[i]`` its expected
+    memory-controller distance.  This is the Eq 2 scoring term of *every*
+    VC of *every* stacked evaluation, computed as chunked broadcast
+    passes instead of one small cumsum per VC.
+
+    Bitwise contract: row *i* equals the per-VC kernel
+    ``np.cumsum(fracs[None, :] * dist[:, banks], axis=1)[:, -1]`` exactly.
+    Rows are padded to the chunk's widest spread with zero-weight terms;
+    every padded term contributes ``x + 0.0`` to a non-negative partial
+    sum, which is the identity in IEEE float64, so padding width (and
+    hence batch composition) never changes a row's result.
+    """
+    v = len(spreads)
+    tiles = dist.shape[0]
+    hops = np.empty((v, tiles), dtype=np.float64)
+    mc_hops = np.empty(v, dtype=np.float64)
+    chunk_rows = max(1, _SPREAD_CHUNK_ELEMS // (tiles * tiles))
+    for lo in range(0, v, chunk_rows):
+        chunk = spreads[lo:lo + chunk_rows]
+        width = max(len(banks) for banks, _ in chunk)
+        bank_idx = np.zeros((len(chunk), width), dtype=np.int64)
+        weights = np.zeros((len(chunk), width), dtype=np.float64)
+        for i, (banks, fracs) in enumerate(chunk):
+            bank_idx[i, :len(banks)] = banks
+            weights[i, :len(fracs)] = fracs
+        # (tiles, C, W): distance from every core to every spread's banks.
+        terms = weights[None, :, :] * dist[:, bank_idx]
+        hops[lo:lo + len(chunk)] = np.cumsum(terms, axis=2)[:, :, -1].T
+        mc_hops[lo:lo + len(chunk)] = np.cumsum(
+            weights * mc_dist[bank_idx], axis=1
+        )[:, -1]
+    return hops, mc_hops
+
+
+# ---------------------------------------------------------------------------
 # Latency curves for allocation (Sec IV-C)
 # ---------------------------------------------------------------------------
 

@@ -101,6 +101,48 @@ class ReconfigResult:
         return self.counter.total_cycles()
 
 
+def _optimistic_for(
+    problem: PlacementProblem,
+    sizes: dict[int, float],
+    counter: StepCounter,
+):
+    """:func:`place_optimistic`, memoized per problem object.
+
+    The optimistic placement depends only on (problem, sizes) — policies
+    that share both (Jigsaw's clustered and random variants differ only in
+    thread placement, which runs later) recompute it identically.  The
+    memo lives on the problem object, so it ends with the problem; hits
+    replay the recorded op counts (``StepCounter.add`` aggregates, so a
+    bulk add equals the loop's unit adds) and every caller gets a private
+    copy, since refinement treats the placement as scratch state.
+    """
+    key = tuple(sorted(sizes.items()))
+    memo = getattr(problem, "_optimistic_memo", None)
+    if memo is None:
+        memo = problem._optimistic_memo = {}
+
+    def private_copy(placement):
+        return type(placement)(
+            {vc: dict(banks) for vc, banks in placement.footprints.items()},
+            dict(placement.centers),
+            dict(placement.centroids),
+            placement.claimed.copy(),
+        )
+
+    hit = memo.get(key)
+    if hit is not None:
+        placement, ops = hit
+        for step, count in ops.items():
+            counter.add(step, count)
+        return private_copy(placement)
+    sub = StepCounter()
+    placement = place_optimistic(problem, sizes, sub)
+    memo[key] = (placement, dict(sub.ops))
+    for step, count in sub.ops.items():
+        counter.add(step, count)
+    return private_copy(placement)
+
+
 def reconfigure(
     problem: PlacementProblem,
     policy: ReconfigPolicy | None = None,
@@ -123,7 +165,7 @@ def reconfigure(
     wall["allocation"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    optimistic = place_optimistic(problem, sizes, counter)
+    optimistic = _optimistic_for(problem, sizes, counter)
     wall["vc_placement"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()

@@ -1,0 +1,224 @@
+"""SharedArrayPool lifecycle: publish/attach, races, crashes, fallback.
+
+The data plane's safety story (see :mod:`repro.runner.shm`) is that
+segments are content-addressed and create-or-attach is idempotent, so
+any interleaving of creators converges on one correct segment; that
+refcounted attachments never outlive their process; and that the whole
+layer degrades to inline pickles when shared memory is off.  Each of
+those claims gets a test here, including multi-process stress for the
+creator race and a SIGKILL'd attacher for crash reclamation.
+"""
+
+import hashlib
+import multiprocessing
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runner import shm
+from repro.runner.shm import SharedArrayPool, attach, detach, shm_enabled
+from repro.runner.store import MISS, ResultStore
+
+SHM_DIR = Path("/dev/shm")
+
+needs_shm = pytest.mark.skipif(
+    not (shm_enabled() and SHM_DIR.is_dir()),
+    reason="POSIX shared memory unavailable",
+)
+
+
+def _digest(tag: str) -> str:
+    """A unique, content-hash-shaped digest per test invocation."""
+    return hashlib.sha256(f"{tag}-{os.getpid()}-{os.urandom(8).hex()}"
+                          .encode()).hexdigest()
+
+
+def _arrays():
+    return {
+        "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "b": np.array([[1, 2], [3, 4]], dtype=np.int32),
+    }
+
+
+def _segment_path(handle) -> Path:
+    return SHM_DIR / handle.name
+
+
+@needs_shm
+def test_publish_attach_roundtrip_readonly():
+    arrays = _arrays()
+    with SharedArrayPool() as pool:
+        handle = pool.publish(_digest("roundtrip"), arrays)
+        assert handle.name is not None
+        assert _segment_path(handle).exists()
+        views = attach(handle)
+        for key, arr in arrays.items():
+            assert np.array_equal(views[key], arr)
+            assert views[key].dtype == arr.dtype
+            assert not views[key].flags.writeable
+        with pytest.raises(ValueError):
+            views["a"][0, 0] = 99.0
+        views = None
+        detach(handle)
+    assert not _segment_path(handle).exists()
+
+
+@needs_shm
+def test_publish_is_memoized_per_digest():
+    with SharedArrayPool() as pool:
+        digest = _digest("memo")
+        first = pool.publish(digest, _arrays())
+        again = pool.publish(digest, _arrays())
+        assert again is first
+
+
+@needs_shm
+def test_attach_refcounts_one_mapping_per_process():
+    with SharedArrayPool() as pool:
+        handle = pool.publish(_digest("refcount"), _arrays())
+        v1 = attach(handle)
+        v2 = attach(handle)
+        assert shm._ATTACHMENTS[handle.name][1] == 2
+        v1 = None
+        detach(handle)
+        # Mapping survives the first detach; remaining views stay valid.
+        assert handle.name in shm._ATTACHMENTS
+        assert np.array_equal(v2["a"], _arrays()["a"])
+        v2 = None
+        detach(handle)
+        assert handle.name not in shm._ATTACHMENTS
+        detach(handle)  # extra detach is a no-op, not an error
+
+
+@needs_shm
+def test_close_is_idempotent_and_pool_stays_usable():
+    pool = SharedArrayPool()
+    h1 = pool.publish(_digest("close"), _arrays())
+    pool.close()
+    pool.close()
+    assert not _segment_path(h1).exists()
+    h2 = pool.publish(_digest("close"), _arrays())
+    assert _segment_path(h2).exists()
+    pool.close()
+    assert not _segment_path(h2).exists()
+
+
+def test_inline_fallback_when_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_SHM", "1")
+    assert not shm_enabled()
+    arrays = _arrays()
+    with SharedArrayPool() as pool:
+        handle = pool.publish(_digest("inline"), arrays)
+        assert handle.name is None
+        assert handle.inline is not None
+        copies = attach(handle)
+        for key, arr in arrays.items():
+            assert np.array_equal(copies[key], arr)
+        # Inline handles hand out private copies — mutating one is safe
+        # and invisible to a second attach.
+        copies["a"][0, 0] = -1.0
+        assert attach(handle)["a"][0, 0] == 0.0
+        detach(handle)  # no-op for inline handles
+
+
+# -- multi-process behavior ---------------------------------------------------
+
+_CTX = multiprocessing.get_context("fork")
+
+
+def _racing_creator(digest, expect_bytes, barrier, out):
+    """Publish the same digest as everyone else, verify, then close."""
+    try:
+        arrays = {"a": np.frombuffer(expect_bytes, dtype=np.float64)}
+        with SharedArrayPool() as pool:
+            handle = pool.publish(digest, arrays)
+            views = attach(handle)
+            ok = bool(np.array_equal(views["a"], arrays["a"]))
+            views = None
+            detach(handle)
+            barrier.wait(timeout=30)  # nobody unlinks until all verified
+            out.put("ok" if ok else "corrupt")
+    except Exception as exc:  # pragma: no cover - failure reporting
+        out.put(f"error: {exc!r}")
+
+
+@needs_shm
+def test_interleaved_creators_converge_on_one_segment():
+    """N processes race create-or-attach on one digest; all must read the
+    identical payload and the segment must be gone once all exit."""
+    digest = _digest("race")
+    payload = np.linspace(0.0, 1.0, 1024).tobytes()
+    n = 4
+    barrier = _CTX.Barrier(n)
+    out = _CTX.Queue()
+    procs = [
+        _CTX.Process(target=_racing_creator,
+                     args=(digest, payload, barrier, out))
+        for _ in range(n)
+    ]
+    for p in procs:
+        p.start()
+    results = [out.get(timeout=60) for _ in range(n)]
+    for p in procs:
+        p.join(timeout=60)
+    assert results == ["ok"] * n
+    assert not (SHM_DIR / shm._segment_name(digest)).exists()
+
+
+def _attach_and_die(handle):
+    attach(handle)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@needs_shm
+def test_crashed_attacher_does_not_leak_segment():
+    """A SIGKILL'd worker holding an attachment must not block the
+    owner's unlink — the OS drops the dead process's mapping."""
+    pool = SharedArrayPool()
+    handle = pool.publish(_digest("crash"), _arrays())
+    p = _CTX.Process(target=_attach_and_die, args=(handle,))
+    p.start()
+    p.join(timeout=60)
+    assert p.exitcode == -signal.SIGKILL
+    pool.close()
+    assert not _segment_path(handle).exists()
+
+
+def _store_hammer(root, digest, value, rounds, out):
+    try:
+        store = ResultStore(root)
+        for _ in range(rounds):
+            store.store(digest, value)
+            loaded = store.load(digest)
+            if loaded is not MISS and loaded != value:
+                out.put("corrupt")
+                return
+        out.put("ok")
+    except Exception as exc:  # pragma: no cover - failure reporting
+        out.put(f"error: {exc!r}")
+
+
+def test_result_store_interleaved_creators(tmp_path):
+    """Concurrent same-digest writers never expose a torn entry: every
+    load sees either a miss or the complete value (atomic replace)."""
+    digest = "ab" + "0" * 62
+    value = {"rows": list(range(200)), "tag": "store-race"}
+    n = 4
+    out = _CTX.Queue()
+    procs = [
+        _CTX.Process(target=_store_hammer,
+                     args=(str(tmp_path), digest, value, 40, out))
+        for _ in range(n)
+    ]
+    for p in procs:
+        p.start()
+    results = [out.get(timeout=120) for _ in range(n)]
+    for p in procs:
+        p.join(timeout=60)
+    assert results == ["ok"] * n
+    assert ResultStore(tmp_path).load(digest) == value
+    # No temp droppings from the atomic-write protocol.
+    assert not list(tmp_path.glob("**/.tmp-*"))

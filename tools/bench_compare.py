@@ -13,7 +13,7 @@ Without ``--baseline``, the candidate file is compared against itself:
 the latest entry per bench name vs the previous entry of the same name
 (useful locally, where the committed entry is still in the file).
 
-Three metric classes gate, all at ``--max-regression`` (default 25%):
+Four metric classes gate, all at ``--max-regression`` (default 25%):
 
 * **wall-clock** — numeric leaves whose key path contains ``second``
   (e.g. ``solve_wall_seconds.full_phased``).  Wall time is machine
@@ -30,6 +30,11 @@ Three metric classes gate, all at ``--max-regression`` (default 25%):
   sizes are as deterministic as op counts, so these also gate
   unconditionally: a growing footprint means some path started
   materializing geometry it previously left lazy.
+* **throughput** — leaves whose path contains ``jobs_per_sec`` (the
+  runner throughput bench).  Higher is better, so the gate is inverted:
+  a candidate *below* ``baseline * (1 - max_regression)`` fails.  Like
+  wall clock, throughput is machine relative and only gates on a
+  matching ``host`` fingerprint.
 
 Metrics absent from either side are reported but never fail (benches
 grow metrics over time).
@@ -77,6 +82,15 @@ def wall_metrics(entry: dict) -> dict[str, float]:
     }
 
 
+def throughput_metrics(entry: dict) -> dict[str, float]:
+    """Machine-relative throughput: leaves mentioning jobs_per_sec."""
+    return {
+        path: value
+        for path, value in numeric_leaves(entry).items()
+        if "jobs_per_sec" in path.lower()
+    }
+
+
 def mcycle_metrics(entry: dict) -> dict[str, float]:
     """Machine-independent modeled cycles: leaves mentioning mcycles."""
     return {
@@ -101,6 +115,7 @@ def _gate(
     max_regression: float,
     unit: str,
     noise_floor: float = 0.0,
+    higher_is_better: bool = False,
 ) -> list[str]:
     problems = []
     for path, value in sorted(candidate.items()):
@@ -110,18 +125,25 @@ def _gate(
             continue
         if reference < noise_floor and value < noise_floor:
             continue  # both under the noise floor
-        limit = reference * (1.0 + max_regression)
+        if higher_is_better:
+            limit = reference * (1.0 - max_regression)
+            failed = value < limit
+            limit_text = f"-{max_regression:.0%}"
+        else:
+            limit = reference * (1.0 + max_regression)
+            failed = value > limit
+            limit_text = f"+{max_regression:.0%}"
         ratio = value / reference if reference > 0 else float("inf")
-        status = "FAIL" if value > limit else "ok"
+        status = "FAIL" if failed else "ok"
         print(
             f"  {path}: {reference:.4f}{unit} -> {value:.4f}{unit} "
             f"({ratio:.0%} of baseline) [{status}]"
         )
-        if value > limit:
+        if failed:
             problems.append(
                 f"{path} regressed {ratio - 1.0:+.0%} "
                 f"({reference:.4f}{unit} -> {value:.4f}{unit}, limit "
-                f"+{max_regression:.0%})"
+                f"{limit_text})"
             )
     return problems
 
@@ -148,14 +170,22 @@ def compare(
             wall_metrics(candidate), wall_metrics(baseline),
             max_regression, "s", noise_floor=min_seconds,
         )
+        problems += _gate(
+            throughput_metrics(candidate), throughput_metrics(baseline),
+            max_regression, " jobs/s", higher_is_better=True,
+        )
     else:
         print(
             f"  host differs ({base_host!r} -> {cand_host!r}): "
-            f"wall-clock metrics reported, not gated"
+            f"wall-clock/throughput metrics reported, not gated"
         )
         _gate(
             wall_metrics(candidate), wall_metrics(baseline),
             float("inf"), "s", noise_floor=min_seconds,
+        )
+        _gate(
+            throughput_metrics(candidate), throughput_metrics(baseline),
+            float("inf"), " jobs/s", higher_is_better=True,
         )
     return problems
 
