@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast coverage lint bench-smoke run-smoke bench bench-kernels bench-runner bench-solver bench-solver-scale bench-compare docs-check check clean
+.PHONY: test test-fast test-locks coverage lint analyze bench-smoke run-smoke bench bench-kernels bench-runner bench-solver bench-solver-scale bench-compare docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -16,6 +16,15 @@ test:
 ## The same suite minus the slow end-to-end tests.
 test-fast:
 	$(PYPATH) $(PY) -m pytest -x -q -m "not slow"
+
+## The concurrency suites under the REPRO_CHECK_LOCKS=1 harness: every
+## access to registered shared state asserts its owning lock is held
+## (see docs/ANALYSIS.md).  The flag is read at interpreter start, so
+## it must be in the environment of the pytest process itself.
+test-locks:
+	$(PYPATH) REPRO_CHECK_LOCKS=1 $(PY) -m pytest -x -q \
+	    tests/test_runtime_guards.py tests/test_service_concurrency.py \
+	    tests/test_lazy_geometry.py tests/test_shared_pool.py
 
 ## Coverage gate on the scheduler + control-plane + geometry layers: the
 ## fast suite under pytest-cov with an 80% line floor on repro.sched,
@@ -29,10 +38,18 @@ coverage:
 	    --cov=repro.sched --cov=repro.service --cov=repro.geometry \
 	    --cov-report=term-missing --cov-fail-under=80
 
-## Static checks: ruff lint rules + formatter drift (see ruff.toml).
-## Skips with a notice where ruff is not installed (the CI lint step
-## installs it; the simulation itself never depends on it).
-lint:
+## repro-analyze: the repo-specific invariant checkers (determinism,
+## lock discipline, shared-view immutability, async discipline) over
+## src/.  Zero new findings against the committed baseline or it fails;
+## docs/ANALYSIS.md catalogues the rules and the suppression policy.
+analyze:
+	$(PY) -m tools.analyze src
+
+## Static checks: the invariant suite always, then ruff lint rules +
+## formatter drift (see ruff.toml).  Ruff skips with a notice where it
+## is not installed (the CI lint step installs it; the simulation
+## itself never depends on it).
+lint: analyze
 	@command -v ruff >/dev/null 2>&1 || \
 	    { echo "make lint: ruff not found (pip install ruff); skipping"; exit 0; } ; \
 	ruff check src tests benchmarks tools examples && \

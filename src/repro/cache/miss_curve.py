@@ -213,15 +213,20 @@ class MissCurveBatch:
         # >= 2 columns so segment indexing (j, j+1) is always in bounds,
         # even when every curve is a single point.
         p = max(2, max(len(c.sizes) for c in self.curves))
-        self.lengths = np.array([len(c.sizes) for c in self.curves], dtype=np.int64)
-        self.sizes2d = np.empty((k, p), dtype=np.float64)
-        self.values2d = np.empty((k, p), dtype=np.float64)
+        # Pack into locals first; the banks only become shared (and are
+        # frozen) once published on self at the end of construction.
+        lengths = np.array([len(c.sizes) for c in self.curves], dtype=np.int64)
+        sizes2d = np.empty((k, p), dtype=np.float64)
+        values2d = np.empty((k, p), dtype=np.float64)
         for i, curve in enumerate(self.curves):
             n = len(curve.sizes)
-            self.sizes2d[i, :n] = curve.sizes
-            self.sizes2d[i, n:] = curve.sizes[-1]
-            self.values2d[i, :n] = curve.values
-            self.values2d[i, n:] = curve.values[-1]
+            sizes2d[i, :n] = curve.sizes
+            sizes2d[i, n:] = curve.sizes[-1]
+            values2d[i, :n] = curve.values
+            values2d[i, n:] = curve.values[-1]
+        self.lengths = lengths
+        self.sizes2d = sizes2d
+        self.values2d = values2d
         self._arg_scale = None
         if arg_scale is not None:
             self._arg_scale = np.asarray(arg_scale, dtype=np.float64)
@@ -240,6 +245,16 @@ class MissCurveBatch:
         self._first_y = self.values2d[:, 0]
         self._last_x = self.sizes2d[self._rows, self.lengths - 1]
         self._last_y = self.values2d[self._rows, self.lengths - 1]
+        self._freeze_banks()
+
+    def _freeze_banks(self) -> None:
+        """Publish the packed banks read-only.  Batches are shared across
+        schemes, epochs, and (via mega-batching) whole job groups; an
+        in-place write would corrupt every later query, so mutation must
+        fail loudly at the write site (see docs/ANALYSIS.md)."""
+        self.lengths.flags.writeable = False
+        self.sizes2d.flags.writeable = False
+        self.values2d.flags.writeable = False
 
     def __len__(self) -> int:
         return len(self.curves)
@@ -272,6 +287,7 @@ class MissCurveBatch:
         sub._first_y = self._first_y[idx]
         sub._last_x = self._last_x[idx]
         sub._last_y = self._last_y[idx]
+        sub._freeze_banks()
         return sub
 
     @staticmethod

@@ -14,7 +14,6 @@ for the classic serial in-process path — both produce identical numbers.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -31,6 +30,7 @@ from repro.nuca.base import NucaScheme, build_problem
 from repro.nuca.sharing import solve_sharing_plans
 from repro.runner import Job, ProcessPoolRunner, register_batchable, run_jobs
 from repro.util.hashing import content_digest
+from repro.util.rng import reseed_global
 from repro.workloads.mixes import (
     Mix,
     random_multithreaded_mix,
@@ -179,10 +179,10 @@ def _sweep_system(config: SystemConfig) -> AnalyticSystem:
 def _reseed_slice(digest: str, seed: int) -> None:
     """Reproduce :meth:`repro.runner.Job.execute`'s global reseeding for
     one slice of a batch, so per-slice RNG state matches the per-job path
-    exactly (the deferred merged stages afterwards consume no RNG)."""
-    h = int(digest[:16], 16) ^ seed
-    random.seed(h)
-    np.random.seed(h & 0xFFFFFFFF)
+    exactly (the deferred merged stages afterwards consume no RNG).
+    Both paths share :func:`repro.util.rng.reseed_global` — the one
+    sanctioned global-reseed site."""
+    reseed_global(digest, seed)
 
 
 def _mix_points_batched(

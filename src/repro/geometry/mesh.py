@@ -46,6 +46,8 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.util.guards import guarded_mapping
+
 #: Largest tile count whose geometry matrices are built dense.  Above it
 #: the matrix properties return :class:`LazyGeometryMatrix` wrappers.
 #: 1024 (a 32x32 mesh, 12 MiB for the dense trio) is the last size where
@@ -54,21 +56,39 @@ DENSE_GEOMETRY_TILE_LIMIT = 1024
 
 _dense_tile_limit = DENSE_GEOMETRY_TILE_LIMIT
 
-#: Process-wide geometry memo: exact-class key -> {matrix name -> array
-#: or lazy store}.  Rebuilt Mesh/Torus instances of the same dimensions
-#: share the distance, spiral-order, and sorted-distance matrices
-#: (placement problems construct a fresh topology per mix; at 1024 tiles
-#: each argsort alone is a 1024x1024 stable sort, far too hot to redo per
-#: epoch).  Lazy topologies share one row store per key the same way.
-_SHARED_GEOMETRY_CACHE: dict[tuple, dict[str, object]] = {}
-
 #: Guards the shared memo.  The co-scheduling service solves concurrent
 #: chips on a thread pool, so two solves may want the same (class, dims)
 #: matrices at once; without the lock both would build (wasting the
 #: hottest precompute and breaking the share-one-array invariant the
 #: isolation tests pin).  An RLock because a build may itself read
 #: another shared matrix (order_matrix builds from distance_matrix).
+#: Registered in ``tools/analyze``'s lock-discipline state registry;
+#: under ``REPRO_CHECK_LOCKS=1`` every cache access asserts ownership.
 _GEOMETRY_LOCK = threading.RLock()
+
+#: Process-wide geometry memo: exact-class key -> {matrix name -> array
+#: or lazy store}.  Rebuilt Mesh/Torus instances of the same dimensions
+#: share the distance, spiral-order, and sorted-distance matrices
+#: (placement problems construct a fresh topology per mix; at 1024 tiles
+#: each argsort alone is a 1024x1024 stable sort, far too hot to redo per
+#: epoch).  Lazy topologies share one row store per key the same way.
+#: Cached arrays are published read-only (``flags.writeable = False``):
+#: every consumer holds a view of the same block, so one in-place write
+#: would silently corrupt every other solve in the process.
+_SHARED_GEOMETRY_CACHE: dict[tuple, dict[str, object]] = guarded_mapping(
+    _GEOMETRY_LOCK, "_SHARED_GEOMETRY_CACHE"
+)
+
+
+def _new_slot(key: tuple) -> dict[str, object]:
+    """A per-key slot of the shared memo, lock-checked like its parent."""
+    return guarded_mapping(_GEOMETRY_LOCK, f"geometry slot {key!r}")
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    """Publish *arr* read-only (shared-view immutability at the source)."""
+    arr.flags.writeable = False
+    return arr
 
 
 def seed_shared_geometry(key: tuple, matrices: dict[str, np.ndarray]) -> None:
@@ -80,8 +100,10 @@ def seed_shared_geometry(key: tuple, matrices: dict[str, np.ndarray]) -> None:
     Existing entries win — a matrix already built in this process is
     bitwise-identical by construction and may be privately writable."""
     with _GEOMETRY_LOCK:
-        slot = _SHARED_GEOMETRY_CACHE.setdefault(key, {})
+        slot = _SHARED_GEOMETRY_CACHE.setdefault(key, _new_slot(key))
         for name, matrix in matrices.items():
+            if isinstance(matrix, np.ndarray):
+                _freeze(matrix)
             slot.setdefault(name, matrix)
 
 
@@ -201,9 +223,8 @@ class _LazyRowStore:
 
     def __init__(self):
         self.rows: dict[str, dict[int, np.ndarray]] = {
-            "distance": {},
-            "order": {},
-            "sorted_distance": {},
+            name: guarded_mapping(_GEOMETRY_LOCK, f"lazy rows[{name}]")
+            for name in ("distance", "order", "sorted_distance")
         }
         self.row_means: np.ndarray | None = None
 
@@ -273,7 +294,9 @@ class LazyGeometryMatrix:
         with _GEOMETRY_LOCK:
             cached = cache.get(r)
             if cached is None:
-                cached = self._build_rows(np.array([r], dtype=np.int64))[0]
+                cached = _freeze(
+                    self._build_rows(np.array([r], dtype=np.int64))[0]
+                )
                 cache[r] = cached
                 _note_cached(cached, dense=False)
             return cached
@@ -399,7 +422,7 @@ class LazyGeometryMatrix:
         if self._name == "distance":
             with _GEOMETRY_LOCK:
                 if self._store.row_means is None:
-                    self._store.row_means = out
+                    self._store.row_means = _freeze(out)
                     _note_cached(out, dense=False)
                 return self._store.row_means
         return out
@@ -455,7 +478,7 @@ class Topology(ABC):
                 store = self._private_lazy_store = _LazyRowStore()
             return store
         with _GEOMETRY_LOCK:
-            slot = _SHARED_GEOMETRY_CACHE.setdefault(key, {})
+            slot = _SHARED_GEOMETRY_CACHE.setdefault(key, _new_slot(key))
             store = slot.get("lazy")
             if store is None:
                 store = slot["lazy"] = _LazyRowStore()
@@ -463,17 +486,20 @@ class Topology(ABC):
 
     def _shared_matrix(self, name: str, build) -> np.ndarray:
         """Build *name* once per (class, dimensions) and share it
-        process-wide; topologies without a shared key build privately."""
+        process-wide; topologies without a shared key build privately.
+        Either way the result is frozen read-only: the dense memo's
+        arrays are the canonical shared views the immutability checker
+        (and the equivalence tests) assume nobody writes through."""
         key = self._shared_cache_key()
         if key is None:
-            arr = build()
+            arr = _freeze(build())
             _note_cached(arr, dense=True)
             return arr
         with _GEOMETRY_LOCK:
-            slot = _SHARED_GEOMETRY_CACHE.setdefault(key, {})
+            slot = _SHARED_GEOMETRY_CACHE.setdefault(key, _new_slot(key))
             cached = slot.get(name)
             if cached is None:
-                cached = build()
+                cached = _freeze(build())
                 slot[name] = cached
                 _note_cached(cached, dense=True)
             return cached

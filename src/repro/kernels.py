@@ -26,6 +26,7 @@ path (for equivalence tests and honest before/after benchmarks)::
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -47,6 +48,16 @@ _VECTORIZED = os.environ.get(_ENV_FLAG, "") != "1"
 _MEGA_ENV_FLAG = "REPRO_MEGA_BATCH"
 
 _MEGA_BATCH = os.environ.get(_MEGA_ENV_FLAG, "") != "0"
+
+#: Serializes toggles of the process-wide kernel-path flags.  The
+#: co-scheduling service solves on a thread pool, so two tests flipping
+#: paths concurrently must not interleave their save/restore pairs.
+#: Reads stay lock-free through the registered accessors
+#: (:func:`use_vectorized` / :func:`use_mega_batch`): a single bool load
+#: is atomic under the GIL, and the lock makes every *transition*
+#: well-ordered.  Registered in ``tools/analyze``'s lock-discipline
+#: state registry.
+_KERNEL_STATE_LOCK = threading.Lock()
 
 
 def use_vectorized() -> bool:
@@ -74,14 +85,16 @@ def scalar_reference() -> Iterator[None]:
     both paths' results interchangeable.)
     """
     global _VECTORIZED
-    previous = _VECTORIZED
+    with _KERNEL_STATE_LOCK:
+        previous = _VECTORIZED
+        _VECTORIZED = False
     previous_env = os.environ.get(_ENV_FLAG)
-    _VECTORIZED = False
     os.environ[_ENV_FLAG] = "1"
     try:
         yield
     finally:
-        _VECTORIZED = previous
+        with _KERNEL_STATE_LOCK:
+            _VECTORIZED = previous
         if previous_env is None:
             os.environ.pop(_ENV_FLAG, None)
         else:
@@ -99,14 +112,16 @@ def per_mix_reference() -> Iterator[None]:
     processes started inside the block pick the same path.
     """
     global _MEGA_BATCH
-    previous = _MEGA_BATCH
+    with _KERNEL_STATE_LOCK:
+        previous = _MEGA_BATCH
+        _MEGA_BATCH = False
     previous_env = os.environ.get(_MEGA_ENV_FLAG)
-    _MEGA_BATCH = False
     os.environ[_MEGA_ENV_FLAG] = "0"
     try:
         yield
     finally:
-        _MEGA_BATCH = previous
+        with _KERNEL_STATE_LOCK:
+            _MEGA_BATCH = previous
         if previous_env is None:
             os.environ.pop(_MEGA_ENV_FLAG, None)
         else:

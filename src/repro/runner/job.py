@@ -20,15 +20,13 @@ Jobs are:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Callable, Mapping
 
-import numpy as np
-
 import repro
 from repro.util.hashing import content_digest
+from repro.util.rng import reseed_global
 
 
 @dataclass(frozen=True)
@@ -67,9 +65,7 @@ class Job:
         Global RNG state is reseeded deterministically from the digest so a
         job's result never depends on scheduling order or worker identity.
         """
-        h = int(self.digest()[:16], 16) ^ self.seed
-        random.seed(h)
-        np.random.seed(h & 0xFFFFFFFF)
+        reseed_global(self.digest(), self.seed)
         return self.fn(**self.kwargs)
 
     def describe(self) -> str:

@@ -33,12 +33,15 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Mapping
 
 import numpy as np
+
+from repro.util.guards import guarded_mapping
 
 #: Written at offset 0 *after* the payload: attachers spin on it so a
 #: partially written segment is never read.
@@ -250,30 +253,44 @@ class SharedArrayPool:
 
 # -- worker-side attachment --------------------------------------------------
 
+#: Guards the attachment refcounts: attach/detach also run on the
+#: service's solver threads, where two threads materializing the same
+#: bank concurrently must not double-map (or double-close) a segment.
+#: Registered in ``tools/analyze``'s lock-discipline state registry.
+_ATTACH_LOCK = threading.Lock()
+
 #: name -> [segment, refcount]; one mapping per segment per process.
-_ATTACHMENTS: dict[str, list] = {}
+_ATTACHMENTS: dict[str, list] = guarded_mapping(_ATTACH_LOCK, "_ATTACHMENTS")
 
 
 def attach(handle: SegmentHandle) -> dict[str, np.ndarray]:
     """Materialize a handle's arrays in this process.
 
-    Shared-memory handles return zero-copy **read-only** views backed by
-    the segment; inline handles unpickle private copies.  Pair each
-    attach with a :func:`detach` (views must no longer be used after)."""
+    Every returned array is **read-only**: shared-memory handles return
+    zero-copy views backed by the segment, and inline handles unpickle
+    private copies frozen to the same contract (mutating an attached
+    bank is a bug everywhere, not just where it is also a race).  Pair
+    each attach with a :func:`detach` (views must no longer be used
+    after)."""
     if handle.name is None:
         assert handle.inline is not None
-        return pickle.loads(handle.inline)
-    entry = _ATTACHMENTS.get(handle.name)
-    if entry is None:
-        segment = _attach_segment(handle.name)
-        if not _wait_ready(segment):
-            segment.close()
-            raise TimeoutError(
-                f"shared segment {handle.name!r} never became ready"
-            )
-        entry = _ATTACHMENTS[handle.name] = [segment, 0]
-    segment = entry[0]
-    entry[1] += 1
+        arrays = pickle.loads(handle.inline)
+        for arr in arrays.values():
+            if isinstance(arr, np.ndarray):
+                arr.flags.writeable = False
+        return arrays
+    with _ATTACH_LOCK:
+        entry = _ATTACHMENTS.get(handle.name)
+        if entry is None:
+            segment = _attach_segment(handle.name)
+            if not _wait_ready(segment):
+                segment.close()
+                raise TimeoutError(
+                    f"shared segment {handle.name!r} never became ready"
+                )
+            entry = _ATTACHMENTS[handle.name] = [segment, 0]
+        segment = entry[0]
+        entry[1] += 1
     views: dict[str, np.ndarray] = {}
     for spec in handle.arrays:
         view = np.ndarray(
@@ -291,21 +308,26 @@ def detach(handle: SegmentHandle) -> None:
     """Drop one attachment reference; the last one closes the mapping."""
     if handle.name is None:
         return
-    entry = _ATTACHMENTS.get(handle.name)
-    if entry is None:
-        return
-    entry[1] -= 1
-    if entry[1] <= 0:
+    with _ATTACH_LOCK:
+        entry = _ATTACHMENTS.get(handle.name)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] > 0:
+            return
         del _ATTACHMENTS[handle.name]
-        try:
-            entry[0].close()
-        except BufferError:  # pragma: no cover - caller kept views alive
-            pass
+        segment = entry[0]
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - caller kept views alive
+        pass
 
 
 def _close_attachments() -> None:  # pragma: no cover - exit path
-    for name in list(_ATTACHMENTS):
-        entry = _ATTACHMENTS.pop(name)
+    with _ATTACH_LOCK:
+        entries = list(_ATTACHMENTS.values())
+        _ATTACHMENTS.clear()
+    for entry in entries:
         try:
             entry[0].close()
         except BufferError:

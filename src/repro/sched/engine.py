@@ -158,7 +158,9 @@ def _vc_accessors(problem: PlacementProblem) -> dict[int, dict[int, float]]:
 def _rate_distance(a: dict[int, float], b: dict[int, float]) -> float:
     """Relative change between two accessor-rate maps (union of threads)."""
     worst = 0.0
-    for tid in set(a) | set(b):
+    # Pure max-reduction: the result is identical under any visit order,
+    # so the unordered union cannot leak into placement decisions.
+    for tid in set(a) | set(b):  # repro: allow[determinism]
         ra, rb = a.get(tid, 0.0), b.get(tid, 0.0)
         denom = max(abs(ra), abs(rb), 1e-12)
         worst = max(worst, abs(ra - rb) / denom)
@@ -263,7 +265,7 @@ class IncrementalSolve:
 
         # 1. Capacity: clean VCs keep their sizes; dirty VCs compete for
         # everything else through the hull allocator.
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow[determinism] reported wall time, never a decision input
         clean_sizes = {
             vc_id: prev_sol.vc_sizes.get(vc_id, 0.0) for vc_id in clean_ids
         }
@@ -275,11 +277,11 @@ class IncrementalSolve:
             problem, dirty, budget, counter
         )
         sizes = {**clean_sizes, **dirty_sizes}
-        wall["allocation"] = time.perf_counter() - t0
+        wall["allocation"] = time.perf_counter() - t0  # repro: allow[determinism] reported wall time, never a decision input
 
         # 2. Optimistic placement of dirty VCs, scored against the clean
         # VCs' real footprints (claimed capacity in banks).
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow[determinism] reported wall time, never a decision input
         claimed = np.zeros(topo.tiles, dtype=np.float64)
         for vc_id in clean_ids:
             for bank, amount in prev_sol.vc_allocation.get(vc_id, {}).items():
@@ -303,11 +305,11 @@ class IncrementalSolve:
             centroids=centroids,
             claimed=optimistic.claimed,
         )
-        wall["vc_placement"] = time.perf_counter() - t0
+        wall["vc_placement"] = time.perf_counter() - t0  # repro: allow[determinism] reported wall time, never a decision input
 
         # 3. Threads touching a dirty VC re-place over the cores they
         # released; everyone else stays put.
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow[determinism] reported wall time, never a decision input
         if policy.place_threads:
             dirty_threads = {
                 t.thread_id
@@ -340,11 +342,11 @@ class IncrementalSolve:
                     f"external placement misses threads {sorted(missing)}"
                 )
             thread_cores = dict(external_thread_cores)
-        wall["thread_placement"] = time.perf_counter() - t0
+        wall["thread_placement"] = time.perf_counter() - t0  # repro: allow[determinism] reported wall time, never a decision input
 
         # 4. Data: clean banks pinned, dirty VCs seeded into the remaining
         # free capacity, trades initiated by the dirty set only.
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow[determinism] reported wall time, never a decision input
         preplaced = {
             vc_id: dict(prev_sol.vc_allocation[vc_id])
             for vc_id in clean_ids
@@ -355,7 +357,7 @@ class IncrementalSolve:
             trades=policy.trade_refinement,
             only_vcs=dirty, preplaced=preplaced,
         )
-        wall["data_placement"] = time.perf_counter() - t0
+        wall["data_placement"] = time.perf_counter() - t0  # repro: allow[determinism] reported wall time, never a decision input
 
         solution = PlacementSolution(
             vc_sizes={
@@ -608,7 +610,7 @@ def _split_solve(
 
     # -- stitch: boundary VCs trade across the seams --------------------
     if policy.trade_refinement:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow[determinism] reported wall time, never a decision input
         boundary_banks = {
             tile
             for tile in range(topo.tiles)
@@ -634,7 +636,7 @@ def _split_solve(
         if stitch_ops:
             counter.add("stitch", stitch_ops)
         critical += stitch_ops * CYCLES_PER_OP
-        wall["stitch"] = time.perf_counter() - t0
+        wall["stitch"] = time.perf_counter() - t0  # repro: allow[determinism] reported wall time, never a decision input
 
     solution = PlacementSolution(
         vc_sizes={

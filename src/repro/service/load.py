@@ -245,7 +245,11 @@ async def drive_chip(
             except MalformedTelemetryError:
                 pass
         reply = await client.place(sim.current_problem())
-        sim.run_epoch(reply.solution, epoch_cycles)
+        # Harness-side tenant compute, run inline on purpose: the load
+        # model wants each chip's epoch advance serialized with its own
+        # placement replies, and the modeled epoch step is microseconds
+        # of host work — not a service-path blocking hazard.
+        sim.run_epoch(reply.solution, epoch_cycles)  # repro: allow[async-discipline]
     return client
 
 

@@ -37,6 +37,7 @@ from repro.sched.engine import SolveStrategy
 from repro.sched.problem import PlacementProblem
 from repro.sched.reconfigure import ReconfigPolicy, ReconfigResult
 from repro.service.budget import TokenBucket
+from repro.util.guards import assert_lock_held
 from repro.service.engines import ChipSlot, EnginePool
 from repro.service.messages import (
     BudgetExceededError,
@@ -278,6 +279,10 @@ class CoSchedService:
 
     @staticmethod
     def _solve_sync(slot: ChipSlot, problem: PlacementProblem):
+        # Warm-engine access is only legal under the chip's slot lock
+        # (one solve at a time per chip); REPRO_CHECK_LOCKS=1 turns that
+        # convention into a runtime assertion on every solve.
+        assert_lock_held(slot.lock, f"chip {slot.chip_id} engine")
         t0 = time.perf_counter()
         result = slot.engine.solve(problem)
         return result, time.perf_counter() - t0

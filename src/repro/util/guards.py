@@ -1,0 +1,142 @@
+"""Runtime lock-discipline harness (``REPRO_CHECK_LOCKS=1``).
+
+The static pass in ``tools/analyze`` proves that registered
+process-wide state is only touched *lexically* inside its owning lock
+(or a registered accessor).  This module is the dynamic complement: with
+``REPRO_CHECK_LOCKS=1`` in the environment, guarded mappings are
+replaced by :class:`LockCheckedDict`, which asserts on **every** access
+— including ones reached through aliases the static pass cannot see —
+that the owning lock is actually held.  The debug mode costs one lock
+query per dict operation and is off by default; CI runs the slow
+concurrency suite under it (see docs/ANALYSIS.md).
+
+Ownership semantics: an :class:`threading.RLock` knows its owner, so
+the check is exact ("held *by this thread*").  A plain
+:class:`threading.Lock` (and ``asyncio.Lock``) only exposes
+``locked()``, so the check degrades to "held by someone" — still enough
+to catch the classic bug of touching guarded state with no lock at all.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Frozen at import: the harness swaps dict implementations at module
+#: definition time, so flipping the env var later cannot take effect
+#: (tests that want the checks run in a subprocess with the var set).
+CHECK_LOCKS = os.environ.get("REPRO_CHECK_LOCKS", "") == "1"
+
+
+class LockDisciplineError(AssertionError):
+    """Guarded state was accessed without its owning lock held."""
+
+
+def lock_is_held(lock) -> bool:
+    """Best-available "is the owning lock held" query (see module doc)."""
+    is_owned = getattr(lock, "_is_owned", None)
+    if is_owned is not None:
+        return is_owned()
+    return lock.locked()
+
+
+def assert_lock_held(lock, name: str) -> None:
+    """Raise :class:`LockDisciplineError` unless *lock* is held.
+
+    No-op unless ``REPRO_CHECK_LOCKS=1`` — callers sprinkle this on
+    guarded accessors without paying for it in production runs.
+    """
+    if CHECK_LOCKS and not lock_is_held(lock):
+        raise LockDisciplineError(
+            f"{name}: accessed without its owning lock held "
+            f"(REPRO_CHECK_LOCKS=1 harness)"
+        )
+
+
+class LockCheckedDict(dict):
+    """A dict that asserts its owning lock is held on every access.
+
+    Used only under ``REPRO_CHECK_LOCKS=1`` (see :func:`guarded_mapping`)
+    so the instrumented path never taxes normal runs.  Read *and* write
+    operations are checked: an unguarded read can see a half-updated
+    cache, which is exactly the race the geometry memo's lock exists to
+    prevent.
+    """
+
+    def __init__(self, lock, name: str, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._lock = lock
+        self._name = name
+
+    def _check(self) -> None:
+        if not lock_is_held(self._lock):
+            raise LockDisciplineError(
+                f"{self._name}: accessed without its owning lock held "
+                f"(REPRO_CHECK_LOCKS=1 harness)"
+            )
+
+    def __getitem__(self, key):
+        self._check()
+        return super().__getitem__(key)
+
+    def __setitem__(self, key, value):
+        self._check()
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._check()
+        super().__delitem__(key)
+
+    def __contains__(self, key):
+        self._check()
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._check()
+        return super().__iter__()
+
+    def __len__(self):
+        self._check()
+        return super().__len__()
+
+    def get(self, key, default=None):
+        self._check()
+        return super().get(key, default)
+
+    def setdefault(self, key, default=None):
+        self._check()
+        return super().setdefault(key, default)
+
+    def pop(self, *args):
+        self._check()
+        return super().pop(*args)
+
+    def clear(self):
+        self._check()
+        super().clear()
+
+    def update(self, *args, **kwargs):
+        self._check()
+        super().update(*args, **kwargs)
+
+    def items(self):
+        self._check()
+        return super().items()
+
+    def keys(self):
+        self._check()
+        return super().keys()
+
+    def values(self):
+        self._check()
+        return super().values()
+
+
+def guarded_mapping(lock, name: str, *args, **kwargs) -> dict:
+    """A dict whose accesses must happen under *lock*.
+
+    Returns a plain dict unless ``REPRO_CHECK_LOCKS=1``, so production
+    code pays nothing for the instrumentation hook.
+    """
+    if CHECK_LOCKS:
+        return LockCheckedDict(lock, name, *args, **kwargs)
+    return dict(*args, **kwargs)

@@ -8,7 +8,28 @@ correlation pitfalls of reusing one generator everywhere.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
+
+
+def reseed_global(digest: str, seed: int) -> int:
+    """Reseed Python's and NumPy's *global* RNGs from a job identity.
+
+    The one sanctioned reseed site in the codebase: ``Job.execute`` (the
+    per-job path) and the mega-batch slice replay both call this, so the
+    global-RNG state a job body observes is identical no matter which
+    path ran it — the property behind ``--jobs N`` and mega-batching
+    being bitwise-identical to serial execution.  ``tools/analyze``'s
+    determinism checker flags any other ``random.*`` / ``np.random.*``
+    global-state call outside this module.
+
+    Returns the derived seed (handy for logging/debugging).
+    """
+    h = int(digest[:16], 16) ^ seed
+    random.seed(h)
+    np.random.seed(h & 0xFFFFFFFF)
+    return h
 
 
 def make_rng(seed: int) -> np.random.Generator:

@@ -1,0 +1,23 @@
+"""Known-bad corpus for the ``shared-view`` rule (parsed, never run)."""
+
+import numpy as np
+
+from repro.geometry.mesh import shared_geometry_matrices
+
+
+def corrupt(key, topo):
+    mats = shared_geometry_matrices(key)
+    dist = mats["distance"]
+    dist += 1.0  # finding: augmented assignment into a shared array
+    topo.distance_matrix[0, 0] = 9.0  # finding: slice assignment
+    np.add(dist, 1.0, out=dist)  # finding: out= targets a shared array
+    dist.sort()  # finding: mutating ndarray method
+    safe = dist.copy()
+    safe += 1.0  # clean: private copy
+    view = dist.ravel()
+    view.fill(0.0)  # finding: mutation through a view of a shared array
+    return safe
+
+
+def suppressed(batch):
+    batch.values2d[0, 0] = 1.0  # repro: allow[shared-view] fixture

@@ -1,0 +1,25 @@
+"""Known-bad corpus for the ``lock-discipline`` rule (parsed, never
+run).  The path suffix ``repro/geometry/mesh.py`` matches the registry
+entries for ``_SHARED_GEOMETRY_CACHE`` and ``_GEOMETRY_STATS``."""
+
+import threading
+
+_GEOMETRY_LOCK = threading.RLock()
+_SHARED_GEOMETRY_CACHE = {}
+# Present so the stale-registry checks stay quiet: every name the
+# registry expects in a module on this path suffix must exist.
+_GEOMETRY_STATS = None
+_dense_tile_limit = 1024
+
+
+def bad_read(key):
+    return _SHARED_GEOMETRY_CACHE.get(key)  # finding: unlocked access
+
+
+def good_read(key):
+    with _GEOMETRY_LOCK:
+        return _SHARED_GEOMETRY_CACHE.get(key)  # clean: lock held
+
+
+def suppressed_read(key):
+    return _SHARED_GEOMETRY_CACHE.get(key)  # repro: allow[lock-discipline]

@@ -1,0 +1,18 @@
+"""The same operations as ``bad_determinism`` with every site carrying a
+reviewed suppression — the rule must report nothing here."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw(vcs):
+    random.seed(1)  # repro: allow[determinism] fixture justification
+    np.random.shuffle(vcs)  # repro: allow[determinism]
+    # repro: allow[determinism] — comment-above form covers the next line
+    t0 = time.perf_counter()
+    for vc in set(vcs) | {0}:  # repro: allow[determinism]
+        pass
+    order = list({1, 2, 3})  # repro: allow[determinism]
+    return order, t0

@@ -1,0 +1,17 @@
+"""Known-bad corpus for the ``determinism`` rule (parsed, never run)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw(vcs):
+    random.seed(1)  # finding: stdlib global RNG
+    np.random.shuffle(vcs)  # finding: numpy global RNG
+    rng = np.random.default_rng(7)  # clean: explicitly seeded generator
+    t0 = time.perf_counter()  # finding: wall clock in a modeled layer
+    for vc in set(vcs) | {0}:  # finding: unordered iteration
+        rng.random()
+    order = list({1, 2, 3})  # finding: list() over an unordered set
+    return order, t0

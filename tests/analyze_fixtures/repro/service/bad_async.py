@@ -1,0 +1,21 @@
+"""Known-bad corpus for the ``async-discipline`` rule (parsed, never
+run)."""
+
+import asyncio
+import time
+
+
+async def handle(engine, problem, path):
+    time.sleep(0.1)  # finding: blocking sleep on the loop
+    text = open(path).read()  # finding: blocking file I/O
+    result = engine.solve(problem)  # finding: inline solver call
+    await asyncio.sleep(0)  # clean: cooperative sleep
+    return result, text
+
+
+async def suppressed(engine, problem):
+    return engine.solve(problem)  # repro: allow[async-discipline]
+
+
+def sync_helper(engine, problem):
+    return engine.solve(problem)  # clean: not a coroutine body

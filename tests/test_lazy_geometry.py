@@ -252,9 +252,14 @@ def test_shared_row_store_safe_under_concurrent_readers():
     for stack in stacks:
         assert np.array_equal(stack, dense)
     store = mats[0]._store
-    assert len(store.rows["distance"]) == n
-    # Re-reads serve the one cached array, not fresh copies.
-    cached_ids = {r: id(arr) for r, arr in store.rows["distance"].items()}
+    # The row caches are guarded mappings under REPRO_CHECK_LOCKS=1, so
+    # even test-only introspection must hold the geometry lock.
+    from repro.geometry import mesh as mesh_mod
+
+    with mesh_mod._GEOMETRY_LOCK:
+        assert len(store.rows["distance"]) == n
+        # Re-reads serve the one cached array, not fresh copies.
+        cached_ids = {r: id(arr) for r, arr in store.rows["distance"].items()}
     assert all(id(mats[3].row(r)) == cached_ids[r] for r in range(n))
 
 

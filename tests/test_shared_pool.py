@@ -81,15 +81,20 @@ def test_attach_refcounts_one_mapping_per_process():
         handle = pool.publish(_digest("refcount"), _arrays())
         v1 = attach(handle)
         v2 = attach(handle)
-        assert shm._ATTACHMENTS[handle.name][1] == 2
+        # _ATTACHMENTS is a guarded mapping under REPRO_CHECK_LOCKS=1,
+        # so the test's own introspection holds the attach lock too.
+        with shm._ATTACH_LOCK:
+            assert shm._ATTACHMENTS[handle.name][1] == 2
         v1 = None
         detach(handle)
         # Mapping survives the first detach; remaining views stay valid.
-        assert handle.name in shm._ATTACHMENTS
+        with shm._ATTACH_LOCK:
+            assert handle.name in shm._ATTACHMENTS
         assert np.array_equal(v2["a"], _arrays()["a"])
         v2 = None
         detach(handle)
-        assert handle.name not in shm._ATTACHMENTS
+        with shm._ATTACH_LOCK:
+            assert handle.name not in shm._ATTACHMENTS
         detach(handle)  # extra detach is a no-op, not an error
 
 
@@ -117,9 +122,11 @@ def test_inline_fallback_when_disabled(monkeypatch):
         copies = attach(handle)
         for key, arr in arrays.items():
             assert np.array_equal(copies[key], arr)
-        # Inline handles hand out private copies — mutating one is safe
-        # and invisible to a second attach.
-        copies["a"][0, 0] = -1.0
+        # attach() hands out read-only arrays on both paths: inline
+        # private copies are frozen just like live shm views, so callers
+        # cannot depend on a mutability difference between the two modes.
+        with pytest.raises(ValueError):
+            copies["a"][0, 0] = -1.0
         assert attach(handle)["a"][0, 0] == 0.0
         detach(handle)  # no-op for inline handles
 

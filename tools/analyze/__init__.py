@@ -1,0 +1,54 @@
+"""repro-analyze: repo-specific invariant checkers (``make analyze``).
+
+Four AST-based rules, each encoding an invariant this reproduction
+depends on (see docs/ANALYSIS.md for the catalogue and the suppression
+policy):
+
+* ``determinism``       — no hidden global state feeding results
+* ``lock-discipline``   — registered shared state accessed under its lock
+* ``shared-view``       — published arrays never mutated in place
+* ``async-discipline``  — service coroutines never block the loop
+
+Run as ``python -m tools.analyze [paths...]`` from the repo root (the
+default path is ``src``).  Exit codes: 0 clean (or fully baselined),
+1 new findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+from .asyncdiscipline import AsyncDisciplineRule
+from .core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    iter_python_files,
+    load_baseline,
+    write_baseline,
+)
+from .determinism import DeterminismRule
+from .immutability import SharedViewRule
+from .locks import ATOMIC_STATE, GUARDED_STATE, LockDisciplineRule
+
+#: rule name -> rule instance; docs_check cross-checks this against the
+#: rule table in docs/ANALYSIS.md.
+RULES: dict[str, Rule] = {
+    rule.name: rule
+    for rule in (
+        DeterminismRule(),
+        LockDisciplineRule(),
+        SharedViewRule(),
+        AsyncDisciplineRule(),
+    )
+}
+
+__all__ = [
+    "ATOMIC_STATE",
+    "GUARDED_STATE",
+    "Finding",
+    "ModuleSource",
+    "RULES",
+    "Rule",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+]

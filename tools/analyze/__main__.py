@@ -1,0 +1,152 @@
+"""CLI for repro-analyze.  See ``tools/analyze/__init__`` and
+docs/ANALYSIS.md.
+
+Usage::
+
+    python -m tools.analyze                    # analyze src/ (the gate)
+    python -m tools.analyze src tests/foo.py   # explicit paths
+    python -m tools.analyze --rules determinism,shared-view src
+    python -m tools.analyze --list-rules
+    python -m tools.analyze --write-baseline   # accept current findings
+
+Exit codes: 0 clean or fully baselined, 1 new findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import (
+    RULES,
+    ModuleSource,
+    iter_python_files,
+    load_baseline,
+    write_baseline,
+)
+from .core import REPO
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="repo-specific invariant checkers (docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file of tolerated finding keys",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print rule names and invariants, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(name) for name in RULES)
+        for name, rule in sorted(RULES.items()):
+            print(f"{name:<{width}}  {rule.invariant}")
+        return 0
+
+    if args.rules:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in RULES]
+        if unknown:
+            print(
+                f"repro-analyze: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULES[r] for r in selected]
+    else:
+        rules = list(RULES.values())
+
+    paths = args.paths or [REPO / "src"]
+    files = iter_python_files(paths)
+    if not files:
+        print(
+            f"repro-analyze: no Python files under "
+            f"{', '.join(str(p) for p in paths)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = []
+    for path in files:
+        try:
+            module = ModuleSource(path)
+            module.tree  # parse eagerly so syntax errors fail loudly
+        except SyntaxError as exc:
+            print(f"repro-analyze: cannot parse {path}: {exc}", file=sys.stderr)
+            return 2
+        for rule in rules:
+            findings.extend(rule.check(module))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"repro-analyze: wrote {len(findings)} finding(s) to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    try:
+        baseline = (
+            set() if args.no_baseline else load_baseline(args.baseline)
+        )
+    except ValueError as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
+
+    new = [f for f in findings if f.key() not in baseline]
+    old = len(findings) - len(new)
+    for finding in new:
+        print(finding.render())
+    stale = baseline - {f.key() for f in findings}
+    summary = (
+        f"repro-analyze: {len(files)} file(s), "
+        f"{len(rules)} rule(s): {len(new)} new finding(s)"
+    )
+    if old:
+        summary += f", {old} baselined"
+    if stale:
+        summary += (
+            f", {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} (re-run "
+            f"--write-baseline to prune)"
+        )
+    print(summary)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Rule ``async-discipline``: the service event loop never blocks.
+
+:mod:`repro.service` multiplexes every chip's admission control on one
+asyncio loop; a single blocking call in a coroutine stalls *all* chips
+at once (and invalidates the latency distributions the service studies
+report).  Solver work must hop to the executor
+(``loop.run_in_executor``) — passing a sync function *reference* there
+is fine and naturally invisible to this rule, which only flags direct
+*calls*:
+
+* ``time.sleep(...)`` (use ``await asyncio.sleep``),
+* blocking file I/O (``open``, ``Path.read_text``/``write_text``/...),
+* solver entry points (``solve``, ``run_epoch``,
+  ``run_reconfigured``, ``reconfigure_epoch``) invoked directly from a
+  coroutine body.
+
+Only the innermost function matters: a sync ``def`` nested inside an
+``async def`` runs wherever it is called from, so its body is not
+flagged here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleSource, Rule, dotted_name, parents_of
+
+SCOPE = ("repro/service/",)
+
+#: Direct calls that block the loop (dotted suffix match).
+_BLOCKING_CALLS = {
+    "time.sleep": "use 'await asyncio.sleep(...)' instead",
+    "open": "blocking file I/O on the event loop; move it to the "
+    "executor",
+    "read_text": "blocking file I/O on the event loop; move it to the "
+    "executor",
+    "write_text": "blocking file I/O on the event loop; move it to the "
+    "executor",
+    "read_bytes": "blocking file I/O on the event loop; move it to the "
+    "executor",
+    "write_bytes": "blocking file I/O on the event loop; move it to the "
+    "executor",
+}
+
+#: CPU-bound solver/simulator entry points; calling one inline stalls
+#: every chip sharing the loop.  Route through loop.run_in_executor.
+_SOLVER_CALLS = {
+    "solve",
+    "run_epoch",
+    "run_reconfigured",
+    "reconfigure_epoch",
+}
+
+
+def _innermost_function(node, parents):
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+class AsyncDisciplineRule(Rule):
+    name = "async-discipline"
+    invariant = (
+        "coroutine bodies in repro.service never call blocking I/O, "
+        "time.sleep, or solver entry points directly; CPU work rides "
+        "the executor"
+    )
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        if not any(marker in module.rel for marker in SCOPE):
+            return []
+        out: list[Finding] = []
+        parents = parents_of(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = _innermost_function(node, parents)
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            leaf = name.split(".")[-1]
+            for pattern, advice in _BLOCKING_CALLS.items():
+                if name == pattern or (
+                    "." not in pattern and leaf == pattern
+                ):
+                    self._emit(
+                        out,
+                        module,
+                        node,
+                        f"blocking call {name}() inside 'async def "
+                        f"{func.name}': {advice}",
+                    )
+                    break
+            else:
+                if leaf in _SOLVER_CALLS and "." in name:
+                    self._emit(
+                        out,
+                        module,
+                        node,
+                        f"solver call {name}() inside 'async def "
+                        f"{func.name}' blocks every chip on this loop; "
+                        f"route it through loop.run_in_executor",
+                    )
+        return out

@@ -1,0 +1,186 @@
+"""Shared machinery of ``repro-analyze`` (see ``tools/analyze/__init__``).
+
+The suite is deliberately repo-specific: every rule encodes one invariant
+this reproduction actually depends on (deterministic RNG use, lock
+discipline over process-wide caches, immutability of shared array views,
+non-blocking async bodies).  A general linter cannot know which state is
+shared or which call sites are sanctioned; the rules here carry that
+knowledge as explicit registries.
+
+Mechanics shared by all rules:
+
+* **modules** — each analyzed file is parsed once into a
+  :class:`ModuleSource` (text, lines, AST, repo-relative posix path).
+* **suppressions** — a ``# repro: allow[rule]`` comment on the flagged
+  line (or the line directly above it) silences that rule there.  Every
+  suppression is a reviewed, documented exception; docs/ANALYSIS.md
+  explains when one is legitimate.
+* **baseline** — findings whose keys appear in the committed baseline
+  file (``tools/analyze/baseline.json``) are reported as baselined, not
+  failures: the gate is "no *new* findings".  Keys are
+  ``rule::path::source-line-text`` so they survive unrelated line-number
+  churn.  A clean tree keeps an empty baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+#: ``# repro: allow[rule]`` / ``# repro: allow[rule1,rule2]``.
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([a-z0-9_,\s-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int  # 1-indexed
+    message: str
+    snippet: str  # stripped source line, the stable part of the key
+
+    def key(self) -> str:
+        """Baseline identity: stable across unrelated line-number churn."""
+        return f"{self.rule}::{self.path}::{self.snippet}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class ModuleSource:
+    """One parsed source file, as every rule sees it."""
+
+    def __init__(self, path: Path, repo: Path = REPO):
+        self.path = path
+        try:
+            self.rel = path.resolve().relative_to(repo).as_posix()
+        except ValueError:  # outside the repo (fixture trees in tests)
+            self.rel = path.as_posix()
+        self.text = path.read_text()
+        self.lines = self.text.splitlines()
+
+    @cached_property
+    def tree(self) -> ast.AST:
+        return ast.parse(self.text, filename=str(self.path))
+
+    @cached_property
+    def allowed(self) -> dict[str, set[int]]:
+        """rule name -> set of line numbers where it is suppressed."""
+        allowed: dict[str, set[int]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _ALLOW.search(line)
+            if not m:
+                continue
+            for rule in m.group(1).split(","):
+                rule = rule.strip()
+                # The comment covers its own line and, when it stands
+                # alone, the statement on the next line.
+                allowed.setdefault(rule, set()).update((lineno, lineno + 1))
+        return allowed
+
+    def is_allowed(self, rule: str, line: int) -> bool:
+        return line in self.allowed.get(rule, ())
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(rule, self.rel, line, message, self.snippet(line))
+
+
+class Rule:
+    """Base interface: one named checker over one module at a time."""
+
+    #: Unique rule id, used in ``allow[...]`` comments and baselines.
+    name: str = ""
+    #: One-line statement of the invariant the rule protects
+    #: (cross-checked against the rule table in docs/ANALYSIS.md).
+    invariant: str = ""
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        raise NotImplementedError
+
+    def _emit(
+        self,
+        out: list[Finding],
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+    ) -> None:
+        """Append a finding unless an allow-comment suppresses it."""
+        finding = module.finding(self.name, node, message)
+        if not module.is_allowed(self.name, finding.line):
+            out.append(finding)
+
+
+def parents_of(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child node -> parent node, for lexical-enclosure walks."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def enclosing(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], *types
+) -> list[ast.AST]:
+    """Ancestors of *node* (innermost first) matching *types*."""
+    found = []
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, types):
+            found.append(current)
+        current = parents.get(current)
+    return found
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The committed finding keys the gate tolerates (empty when clean)."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    if not isinstance(data, list) or not all(
+        isinstance(k, str) for k in data
+    ):
+        raise ValueError(f"{path}: baseline must be a JSON list of keys")
+    return set(data)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    keys = sorted({f.key() for f in findings})
+    path.write_text(json.dumps(keys, indent=2) + "\n")

@@ -37,6 +37,11 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+# Run as `python tools/docs_check.py`, sys.path[0] is tools/; the repo
+# root must be importable for the tools.analyze cross-check below.
+if str(REPO) not in sys.path:
+    sys.path.insert(0, str(REPO))
+
 DOC_FILES = [
     REPO / "README.md",
     *sorted((REPO / "docs").glob("*.md")),
@@ -255,6 +260,49 @@ def check_experiment_index() -> list[str]:
     return problems
 
 
+def check_analysis_rules() -> list[str]:
+    """docs/ANALYSIS.md's rule catalogue matches the registered checkers.
+
+    Both directions: every rule in ``tools.analyze.RULES`` has a table
+    row (named and carrying the rule's invariant text), and the table
+    names no unregistered rule — so the catalogue cannot drift from the
+    code the way hand-maintained rule lists do.
+    """
+    from tools.analyze import RULES
+
+    path = REPO / "docs" / "ANALYSIS.md"
+    if not path.exists():
+        return ["docs/ANALYSIS.md: missing (the repro-analyze catalogue)"]
+    text = path.read_text()
+    marker = "## Rule catalogue"
+    if marker not in text:
+        return [
+            f"docs/ANALYSIS.md: missing the {marker!r} section "
+            f"(the rule table docs-check cross-checks)"
+        ]
+    section = text.split(marker, 1)[1].split("\n## ", 1)[0]
+    documented = set(re.findall(r"^\|\s*`([a-z-]+)`", section, re.M))
+    registered = set(RULES)
+    problems = []
+    for name in sorted(registered - documented):
+        problems.append(
+            f"docs/ANALYSIS.md: registered rule {name!r} is missing "
+            f"from the rule catalogue"
+        )
+    for name in sorted(documented - registered):
+        problems.append(
+            f"docs/ANALYSIS.md: rule catalogue lists {name!r}, which "
+            f"tools.analyze does not register"
+        )
+    for name in sorted(registered & documented):
+        if RULES[name].invariant not in section:
+            problems.append(
+                f"docs/ANALYSIS.md: row for {name!r} does not carry the "
+                f"rule's registered invariant text verbatim"
+            )
+    return problems
+
+
 def check_shape_conventions() -> list[str]:
     """Kernel modules must document their array shapes and dtypes."""
     problems = []
@@ -281,6 +329,7 @@ def main() -> int:
     problems: list[str] = []
     problems += verify_flag_list()
     problems += check_experiment_index()
+    problems += check_analysis_rules()
     problems += check_shape_conventions()
     for doc in DOC_FILES:
         if not doc.exists():
