@@ -5,7 +5,7 @@ PY      := python
 PYPATH  := PYTHONPATH=src
 JOBS    ?= 2
 
-.PHONY: test test-fast test-locks coverage lint analyze bench-smoke run-smoke bench bench-kernels bench-runner bench-solver bench-solver-scale bench-compare docs-check check clean
+.PHONY: test test-fast test-locks coverage lint analyze bench-smoke run-smoke bench bench-kernels bench-runner bench-solver bench-solver-scale bench-sketch bench-compare docs-check check clean
 
 ## Tier-1 verification: the full unit/integration suite, then the docs
 ## checker — stale docs fail `make test` locally, not just in review.
@@ -26,16 +26,18 @@ test-locks:
 	    tests/test_runtime_guards.py tests/test_service_concurrency.py \
 	    tests/test_lazy_geometry.py tests/test_shared_pool.py
 
-## Coverage gate on the scheduler + control-plane + geometry layers: the
-## fast suite under pytest-cov with an 80% line floor on repro.sched,
-## repro.service and repro.geometry (the lazy-matrix machinery must stay
-## pinned).  Skips with a notice where pytest-cov is not installed
-## (the CI coverage job installs it; see requirements-dev.txt).
+## Coverage gate on the scheduler + control-plane + cache + geometry
+## layers: the fast suite under pytest-cov with an 80% line floor on
+## repro.sched, repro.service, repro.cache (miss curves, monitors, and
+## the telemetry sketches) and repro.geometry (the lazy-matrix machinery
+## must stay pinned).  Skips with a notice where pytest-cov is not
+## installed (the CI coverage job installs it; see requirements-dev.txt).
 coverage:
 	@$(PYPATH) $(PY) -c "import pytest_cov" >/dev/null 2>&1 || \
 	    { echo "make coverage: pytest-cov not found (pip install pytest-cov); skipping"; exit 0; } ; \
 	$(PYPATH) $(PY) -m pytest -q -m "not slow" \
-	    --cov=repro.sched --cov=repro.service --cov=repro.geometry \
+	    --cov=repro.sched --cov=repro.service --cov=repro.cache \
+	    --cov=repro.geometry \
 	    --cov-report=term-missing --cov-fail-under=80
 
 ## repro-analyze: the repo-specific invariant checkers (determinism,
@@ -107,17 +109,27 @@ bench-solver:
 bench-solver-scale:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_solver_scale.py -q
 
+## Sketch-telemetry bench: delta-stream bytes per epoch vs full dumps
+## (>= 5x smaller) and warm sketch dirty detection vs exact curves
+## (>= 3x faster) at 1024 tiles.  Appends a bench_sketch_telemetry
+## entry to benchmarks/BENCH.json.
+bench-sketch:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_sketch_telemetry.py -q
+
 ## Fail if the latest bench_solver / bench_solver_scale_points /
-## bench_runner_throughput entries regressed >25% against the previous
-## ones — wall seconds and jobs/sec on matching hosts, modeled Mcycles
-## and geometry MiB everywhere (pass BASELINE=path to diff against a
-## saved BENCH.json).
+## bench_runner_throughput / bench_sketch_telemetry entries regressed
+## >25% against the previous ones — wall seconds and jobs/sec on
+## matching hosts, modeled Mcycles, geometry MiB, and telemetry
+## bytes/epoch everywhere (pass BASELINE=path to diff against a saved
+## BENCH.json).
 bench-compare:
 	$(PY) tools/bench_compare.py --bench bench_solver \
 	    $(if $(BASELINE),--baseline $(BASELINE),)
 	$(PY) tools/bench_compare.py --bench bench_solver_scale_points \
 	    $(if $(BASELINE),--baseline $(BASELINE),)
 	$(PY) tools/bench_compare.py --bench bench_runner_throughput \
+	    $(if $(BASELINE),--baseline $(BASELINE),)
+	$(PY) tools/bench_compare.py --bench bench_sketch_telemetry \
 	    $(if $(BASELINE),--baseline $(BASELINE),)
 
 ## Fail if README/docs code blocks reference CLI flags, experiments,

@@ -1,5 +1,6 @@
 """Cache substrate: miss curves, partitioned banks (Vantage-contract LRU),
-and miss-curve monitors (UMON / geometric GMON)."""
+miss-curve monitors (UMON / geometric GMON), and bounded-memory telemetry
+sketches (:mod:`repro.cache.sketch`)."""
 
 from repro.cache.bank import BankStats, PartitionedBank
 from repro.cache.miss_curve import (
@@ -9,16 +10,30 @@ from repro.cache.miss_curve import (
     flat_curve,
 )
 from repro.cache.monitor import GMon, UMon, required_umon_ways, solve_gamma
+from repro.cache.sketch import (
+    DEFAULT_SKETCH_BYTES,
+    MissCurveSketch,
+    SketchBank,
+    points_for_budget,
+    problem_sketch_bank,
+    sketch_grid,
+)
 
 __all__ = [
     "BankStats",
+    "DEFAULT_SKETCH_BYTES",
     "GMon",
     "MissCurve",
+    "MissCurveSketch",
     "PartitionedBank",
+    "SketchBank",
     "UMon",
     "cliff_curve",
     "exponential_curve",
     "flat_curve",
+    "points_for_budget",
+    "problem_sketch_bank",
     "required_umon_ways",
+    "sketch_grid",
     "solve_gamma",
 ]

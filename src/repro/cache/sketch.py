@@ -1,0 +1,484 @@
+"""Bounded-memory miss-curve sketches for streaming telemetry.
+
+A :class:`MissCurveSketch` is the monitor-side summary the ROADMAP's
+streaming-reconfiguration item calls for: instead of shipping a full
+exact miss curve every epoch (65+ float64 knots per VC), a monitor emits
+a fixed-byte-budget sketch — the curve sampled at a *geometric* capacity
+grid (the GMON way-sizing idiom: fine resolution at small capacities,
+coarse at large) in float32, plus a per-interval error bound (``slack``)
+that makes the sketch *sound*: the true curve is guaranteed to lie
+within ``slack`` of the sketch's piecewise-linear reconstruction on
+every grid interval.
+
+That soundness is what makes ``delta(other)`` useful: it returns an
+upper bound on :func:`repro.sched.engine.curve_distance` between the two
+*source* curves computed purely from the sketches (O(points), no curve
+materialization, no union grids).  A dirty-VC detector that marks a VC
+dirty whenever the sketch delta exceeds the threshold therefore can
+never miss a VC the exact detector would have flagged — sketch-driven
+detection is a superset of exact detection (pinned by
+``tests/test_sketch_properties.py``).
+
+The bound is exact for sketches built by :meth:`MissCurveSketch.from_curve`.
+Derived sketches (:meth:`merged`, :meth:`decayed`, :meth:`blended`) keep
+the *numerator* of the bound sound against the combined source curves,
+but their ``peak`` normalizer is an estimate (the sum/convex combination
+of the parents' peaks, which upper-bounds the combined curve's true
+peak), so deltas between derived sketches are estimates, not bounds.
+
+Shape conventions
+-----------------
+* ``grid``: (P,) float64, strictly increasing capacities in bytes,
+  ``grid[0] == 0``; shared across every sketch of one chip (same
+  ``(grid_max, points)`` key) via a process-wide cache.
+* ``values``: (P,) float32, the curve sampled at ``grid``.
+* ``slack``: (P,) float32; ``slack[i]`` bounds the reconstruction error
+  on ``[grid[i], grid[i+1])`` for ``i < P-1`` and on the tail
+  ``[grid[P-1], inf)`` for ``i == P-1``.
+* :class:`SketchBank` stacks K same-grid sketches into (K, P) banks so
+  all-VC deltas are one vectorized pass.
+
+All published arrays are frozen (``writeable=False``); see
+docs/ANALYSIS.md (immutability rule).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.miss_curve import MissCurve
+from repro.util.guards import guarded_mapping
+
+__all__ = [
+    "DEFAULT_SKETCH_BYTES",
+    "MissCurveSketch",
+    "SketchBank",
+    "points_for_budget",
+    "problem_sketch_bank",
+    "sketch_grid",
+]
+
+#: Default per-VC telemetry budget.  At 8 bytes/point (float32 value +
+#: float32 slack) this is ~61 grid points — a quarter of the 65-knot
+#: float64 exact curves the service ships today, with the geometric grid
+#: spending its resolution where miss curves actually bend.
+DEFAULT_SKETCH_BYTES = 512
+
+#: Fixed per-sketch overhead we account for in ``nbytes``: the grid key
+#: (grid_max + points) and the float64 peak.
+SKETCH_HEADER_BYTES = 24
+
+#: ``grid[1] == grid_max / GRID_SPAN``: the smallest resolved capacity.
+#: 4096 mirrors a 64 KiB first way on a 256 MiB LLC.
+GRID_SPAN = 4096.0
+
+#: A sketch needs at least two grid points to carry an interval.
+MIN_POINTS = 4
+
+# Process-wide grid cache: every sketch of one chip shares one frozen
+# grid array, so bank stacking never re-derives or copies grids.
+# Registered in tools/analyze/locks.py; the guarded_mapping wrapper adds
+# the REPRO_CHECK_LOCKS=1 runtime assertion at zero production cost.
+_GRID_LOCK = threading.Lock()
+_GRID_CACHE: dict[tuple[float, int], np.ndarray] = guarded_mapping(
+    _GRID_LOCK, "sketch grid cache"
+)
+
+
+def points_for_budget(budget_bytes: int) -> int:
+    """Grid points affordable under *budget_bytes* (8 bytes per point)."""
+    points = (int(budget_bytes) - SKETCH_HEADER_BYTES) // 8
+    if points < MIN_POINTS:
+        raise ValueError(
+            f"sketch budget {budget_bytes}B affords {points} grid points; "
+            f"need >= {MIN_POINTS} "
+            f"(>= {SKETCH_HEADER_BYTES + 8 * MIN_POINTS}B)"
+        )
+    return points
+
+
+def sketch_grid(grid_max: float, points: int) -> np.ndarray:
+    """The shared geometric capacity grid for ``(grid_max, points)``.
+
+    ``[0, grid_max/GRID_SPAN, ..., grid_max]`` with geometric spacing —
+    the GMON way-capacity layout.  Returned arrays are cached
+    process-wide and frozen; callers must treat them as immutable.
+    """
+    grid_max = float(grid_max)
+    points = int(points)
+    if grid_max <= 0.0:
+        raise ValueError(f"grid_max must be positive, got {grid_max}")
+    if points < MIN_POINTS:
+        raise ValueError(f"need >= {MIN_POINTS} grid points, got {points}")
+    key = (grid_max, points)
+    with _GRID_LOCK:
+        grid = _GRID_CACHE.get(key)
+        if grid is None:
+            tail = np.geomspace(
+                grid_max / GRID_SPAN, grid_max, points - 1, dtype=np.float64
+            )
+            tail[-1] = grid_max  # geomspace endpoint is not always exact
+            grid = np.concatenate(([0.0], tail))
+            grid.setflags(write=False)
+            _GRID_CACHE[key] = grid
+    return grid
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+def _round_up_f32(exact: np.ndarray) -> np.ndarray:
+    """float32 cast of non-negative *exact* that never rounds below it."""
+    out = exact.astype(np.float32)
+    low = out.astype(np.float64) < exact
+    if np.any(low):
+        out = np.where(low, np.nextafter(out, np.float32(np.inf)), out)
+    return out
+
+
+def _delta_arrays(
+    values_a: np.ndarray,
+    slack_a: np.ndarray,
+    values_b: np.ndarray,
+    slack_b: np.ndarray,
+) -> float:
+    """Unnormalized sup-distance bound between two same-grid sketches.
+
+    For any capacity x in grid interval i, each true curve lies within
+    ``slack[i]`` of its stored chord, and the chords' pointwise gap on
+    the interval is at most the larger endpoint gap — so the true curves'
+    gap is bounded per interval by ``max(dv[i], dv[i+1]) + sa[i] + sb[i]``
+    (tail: ``dv[-1] + sa[-1] + sb[-1]``).
+    """
+    dv = np.abs(values_a.astype(np.float64) - values_b.astype(np.float64))
+    comb = slack_a.astype(np.float64) + slack_b.astype(np.float64)
+    body = np.maximum(dv[:-1], dv[1:]) + comb[:-1]
+    tail = dv[-1] + comb[-1]
+    return float(max(float(np.max(body)), float(tail)))
+
+
+@dataclass(frozen=True, eq=False)
+class MissCurveSketch:
+    """A fixed-budget, mergeable summary of one miss curve.
+
+    Built with :meth:`from_curve`; combined with :meth:`merged` /
+    :meth:`blended` / :meth:`decayed`; compared with :meth:`delta`;
+    materialized with :meth:`to_curve`.  All arrays are frozen.
+    """
+
+    grid: np.ndarray
+    values: np.ndarray
+    slack: np.ndarray
+    peak: float
+    #: False for sketches derived by merge/blend/decay, whose ``peak``
+    #: (and hence delta normalizer) is an estimate, not an exact bound.
+    exact: bool = True
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_curve(
+        cls,
+        curve: MissCurve,
+        budget_bytes: int = DEFAULT_SKETCH_BYTES,
+        grid_max: float | None = None,
+        points: int | None = None,
+    ) -> "MissCurveSketch":
+        """Sketch *curve* on the geometric grid for *grid_max*.
+
+        *grid_max* defaults to the curve's own largest knot; pass the
+        chip's LLC capacity so every VC of one chip shares a grid (a
+        :class:`SketchBank` requires it).  *points* overrides the
+        budget-derived grid size.
+        """
+        if points is None:
+            points = points_for_budget(budget_bytes)
+        span = float(grid_max) if grid_max is not None else float(curve.max_size)
+        grid = sketch_grid(span, points)
+
+        exact64 = np.asarray(curve(grid), dtype=np.float64)
+        values = exact64.astype(np.float32)
+        stored64 = values.astype(np.float64)
+
+        # Per-interval sup error of the stored float32 chord against the
+        # true curve.  Both are piecewise linear, so their difference is
+        # piecewise linear too and peaks at a breakpoint of either: the
+        # grid points (where the error is pure float32 quantization) or
+        # the curve's own knots.
+        slack64 = np.abs(stored64 - exact64)
+        # Each grid point's quantization error bounds both intervals it
+        # borders; fold the right endpoint into the preceding interval.
+        slack64[:-1] = np.maximum(slack64[:-1], slack64[1:])
+        knots = np.asarray(curve.sizes, dtype=np.float64)
+        knot_true = np.asarray(curve.values, dtype=np.float64)
+        knot_chord = np.interp(knots, grid, stored64)
+        knot_err = np.abs(knot_true - knot_chord)
+        spans = np.clip(
+            np.searchsorted(grid, knots, side="right") - 1, 0, points - 1
+        )
+        np.maximum.at(slack64, spans, knot_err)
+
+        sketch = cls(
+            grid=grid,
+            values=_freeze(values),
+            slack=_freeze(_round_up_f32(slack64)),
+            peak=float(np.max(np.asarray(curve.values, dtype=np.float64))),
+        )
+        return sketch
+
+    # -- telemetry accounting ------------------------------------------------
+
+    @property
+    def points(self) -> int:
+        return int(self.grid.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Wire footprint: values + slack payload plus the fixed header."""
+        return int(self.values.nbytes + self.slack.nbytes + SKETCH_HEADER_BYTES)
+
+    def cache_key(self) -> tuple:
+        """Content identity for :mod:`repro.util.hashing`."""
+        return (self.grid, self.values, self.slack, self.peak, self.exact)
+
+    def compatible(self, other: "MissCurveSketch") -> bool:
+        """True when both sketches live on the same grid."""
+        return self.grid is other.grid or np.array_equal(self.grid, other.grid)
+
+    # -- reconstruction ------------------------------------------------------
+
+    def to_curve(self) -> MissCurve:
+        """Materialize the sketch as a (monotone) miss curve."""
+        values = np.maximum(self.values.astype(np.float64), 0.0)
+        return MissCurve(self.grid, values).monotone_decreasing()
+
+    # -- comparison ----------------------------------------------------------
+
+    def delta(self, other: "MissCurveSketch") -> float:
+        """Upper bound on ``curve_distance`` between the source curves.
+
+        Same normalization as :func:`repro.sched.engine.curve_distance`
+        (sup gap over the larger curve peak), so thresholding the delta
+        is directly comparable with thresholding the exact distance.
+        Raises ``ValueError`` on mismatched grids.
+        """
+        if self is other:
+            return 0.0
+        if not self.compatible(other):
+            raise ValueError(
+                f"sketch grids differ ({self.points} pts to "
+                f"{float(self.grid[-1]):.0f}B vs {other.points} pts to "
+                f"{float(other.grid[-1]):.0f}B); rebuild on a shared grid"
+            )
+        numerator = _delta_arrays(
+            self.values, self.slack, other.values, other.slack
+        )
+        scale = max(self.peak, other.peak, 1e-12)
+        return numerator / scale
+
+    # -- combination ---------------------------------------------------------
+
+    def _combined(
+        self, values64: np.ndarray, slack64: np.ndarray, peak: float
+    ) -> "MissCurveSketch":
+        values = values64.astype(np.float32)
+        requant = np.abs(values.astype(np.float64) - values64)
+        requant[:-1] = np.maximum(requant[:-1], requant[1:])
+        return MissCurveSketch(
+            grid=self.grid,
+            values=_freeze(values),
+            slack=_freeze(_round_up_f32(slack64 + requant)),
+            peak=float(peak),
+            exact=False,
+        )
+
+    def merged(self, other: "MissCurveSketch") -> "MissCurveSketch":
+        """Sketch of the summed curves (two VCs folded into one)."""
+        if not self.compatible(other):
+            raise ValueError("cannot merge sketches on different grids")
+        return self._combined(
+            self.values.astype(np.float64) + other.values.astype(np.float64),
+            self.slack.astype(np.float64) + other.slack.astype(np.float64),
+            self.peak + other.peak,
+        )
+
+    def decayed(self, factor: float) -> "MissCurveSketch":
+        """Sketch of the curve scaled by ``factor`` (heat decay)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"decay factor must be in [0, 1], got {factor}")
+        return self._combined(
+            self.values.astype(np.float64) * factor,
+            self.slack.astype(np.float64) * factor,
+            self.peak * factor,
+        )
+
+    def blended(
+        self, fresh: "MissCurveSketch", decay: float
+    ) -> "MissCurveSketch":
+        """EWMA of this sketch with *fresh*: ``decay*self + (1-decay)*fresh``.
+
+        The BCache heat-sketch idiom: successive monitor snapshots fade
+        geometrically instead of resetting, smoothing phase noise.
+        """
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        if not self.compatible(fresh):
+            raise ValueError("cannot blend sketches on different grids")
+        keep = float(decay)
+        take = 1.0 - keep
+        return self._combined(
+            self.values.astype(np.float64) * keep
+            + fresh.values.astype(np.float64) * take,
+            self.slack.astype(np.float64) * keep
+            + fresh.slack.astype(np.float64) * take,
+            self.peak * keep + fresh.peak * take,
+        )
+
+
+class SketchBank:
+    """K same-grid sketches stacked for one vectorized all-VC delta.
+
+    Rows keep the per-curve sketch *objects* (identity is meaningful:
+    two banks sharing a row object share a source curve, so that row's
+    delta is exactly zero without touching the arrays).
+    """
+
+    def __init__(self, vc_ids: tuple[int, ...], sketches: tuple[MissCurveSketch, ...]):
+        if len(vc_ids) != len(sketches):
+            raise ValueError("one sketch per vc id required")
+        if sketches:
+            grid = sketches[0].grid
+            for sketch in sketches[1:]:
+                if sketch.grid is not grid and not np.array_equal(
+                    sketch.grid, grid
+                ):
+                    raise ValueError("bank sketches must share one grid")
+        self.vc_ids = tuple(int(v) for v in vc_ids)
+        self.sketches = tuple(sketches)
+        self.index = {vc_id: row for row, vc_id in enumerate(self.vc_ids)}
+        points = sketches[0].points if sketches else 0
+        self.values2d = _freeze(
+            np.stack([s.values for s in sketches])
+            if sketches
+            else np.zeros((0, points), dtype=np.float32)
+        )
+        self.slack2d = _freeze(
+            np.stack([s.slack for s in sketches])
+            if sketches
+            else np.zeros((0, points), dtype=np.float32)
+        )
+        self.peaks = _freeze(
+            np.asarray([s.peak for s in sketches], dtype=np.float64)
+        )
+
+    @classmethod
+    def from_curves(
+        cls,
+        curves: list[tuple[int, MissCurve]],
+        grid_max: float,
+        points: int,
+    ) -> "SketchBank":
+        """Bank for ``[(vc_id, curve), ...]`` on one shared grid.
+
+        Sketches are memoized per curve *object* (keyed by grid), so
+        rebuilding a bank over unchanged curves reuses their rows — the
+        identity fast path in :meth:`deltas_to` then sees them as clean
+        for free.
+        """
+        sketches = []
+        key = (float(grid_max), int(points))
+        for _, curve in curves:
+            memo = getattr(curve, "_sketch_memo", None)
+            if memo is None:
+                memo = {}
+                curve._sketch_memo = memo
+            sketch = memo.get(key)
+            if sketch is None:
+                sketch = MissCurveSketch.from_curve(
+                    curve, grid_max=grid_max, points=points
+                )
+                memo[key] = sketch
+            sketches.append(sketch)
+        return cls(tuple(vc_id for vc_id, _ in curves), tuple(sketches))
+
+    @property
+    def nbytes(self) -> int:
+        return sum(sketch.nbytes for sketch in self.sketches)
+
+    def grid_key(self) -> tuple[float, int] | None:
+        if not self.sketches:
+            return None
+        grid = self.sketches[0].grid
+        return (float(grid[-1]), int(grid.shape[0]))
+
+    def deltas_to(self, prev: "SketchBank") -> dict[int, float]:
+        """``{vc_id: delta}`` for every id present in both banks.
+
+        One vectorized pass over the stacked arrays; rows whose sketch
+        objects are identical short-circuit to exactly 0.0.  Raises
+        ``ValueError`` when the banks' grids differ (callers treat that
+        as everything-dirty).
+        """
+        common = [vc_id for vc_id in self.vc_ids if vc_id in prev.index]
+        if not common:
+            return {}
+        if self.grid_key() != prev.grid_key():
+            raise ValueError("banks live on different grids")
+        rows = np.asarray([self.index[v] for v in common])
+        prev_rows = np.asarray([prev.index[v] for v in common])
+        same = np.asarray(
+            [
+                self.sketches[self.index[v]] is prev.sketches[prev.index[v]]
+                for v in common
+            ]
+        )
+        va = self.values2d[rows].astype(np.float64)
+        vb = prev.values2d[prev_rows].astype(np.float64)
+        dv = np.abs(va - vb)
+        comb = self.slack2d[rows].astype(np.float64) + prev.slack2d[
+            prev_rows
+        ].astype(np.float64)
+        body = np.maximum(dv[:, :-1], dv[:, 1:]) + comb[:, :-1]
+        tail = dv[:, -1] + comb[:, -1]
+        numerator = np.maximum(np.max(body, axis=1), tail)
+        scale = np.maximum(
+            np.maximum(self.peaks[rows], prev.peaks[prev_rows]), 1e-12
+        )
+        deltas = numerator / scale
+        deltas[same] = 0.0
+        return {vc_id: float(d) for vc_id, d in zip(common, deltas)}
+
+
+def problem_sketch_bank(
+    problem, budget_bytes: int = DEFAULT_SKETCH_BYTES
+) -> SketchBank:
+    """The sketch bank of *problem*'s VC curves, memoized on the problem.
+
+    The grid spans the chip's LLC (``problem.total_bytes``), so every VC
+    of one chip — and every epoch of one chip — shares a grid.  Because
+    :class:`~repro.sim.engine.EpochEngine` reuses the problem object
+    across stationary epochs, stationary epochs hit this memo and never
+    rebuild the bank (and their per-row identity makes deltas exactly
+    zero).
+    """
+    grid_max = float(problem.total_bytes)
+    points = points_for_budget(budget_bytes)
+    key = (grid_max, points)
+    memo = getattr(problem, "_sketch_banks", None)
+    if memo is None:
+        memo = {}
+        problem._sketch_banks = memo
+    bank = memo.get(key)
+    if bank is None:
+        bank = SketchBank.from_curves(
+            [(vc.vc_id, vc.miss_curve) for vc in problem.vcs],
+            grid_max,
+            points,
+        )
+        memo[key] = bank
+    return bank

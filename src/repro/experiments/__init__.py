@@ -78,6 +78,13 @@ from repro.experiments.solver_study import (
     solver_point,
     solver_study_jobs,
 )
+from repro.experiments.sketch_study import (
+    BUDGET_SWEEP,
+    SketchStudyResult,
+    run_sketch_study,
+    sketch_point,
+    sketch_study_jobs,
+)
 from repro.experiments.service_study import (
     ServiceStudyResult,
     run_service_study,
@@ -112,6 +119,7 @@ from repro.experiments.table3 import (
 )
 
 __all__ = [
+    "BUDGET_SWEEP",
     "CaseStudyResult",
     "DYNAMISM_SWEEP",
     "ExperimentSpec",
@@ -136,6 +144,7 @@ __all__ = [
     "STRATEGY_SWEEP",
     "ScalabilityResult",
     "ServiceStudyResult",
+    "SketchStudyResult",
     "SolverStudyResult",
     "SweepResult",
     "TILE_POINTS",
@@ -172,6 +181,7 @@ __all__ = [
     "run_reconfig_trace",
     "run_scalability",
     "run_service_study",
+    "run_sketch_study",
     "run_solver_study",
     "run_sweep",
     "run_table3",
@@ -179,6 +189,8 @@ __all__ = [
     "scalability_point",
     "service_load_point",
     "service_study_jobs",
+    "sketch_point",
+    "sketch_study_jobs",
     "solver_point",
     "solver_study_jobs",
     "spec_names",

@@ -51,6 +51,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.cache.sketch import DEFAULT_SKETCH_BYTES, problem_sketch_bank
 from repro.geometry.mesh import Mesh
 from repro.geometry.placement_math import center_of_mass
 from repro.sched.allocation import allocate_latency_aware_subset
@@ -135,14 +136,24 @@ def curve_distance(a, b) -> float:
     """Relative L-inf distance between two miss curves, normalized by the
     larger curve peak.  0 means identical; 1 means a point moved by the
     full peak miss rate.  Identity is free (stationary mixes reuse the
-    very same curve objects epoch to epoch)."""
+    very same curve objects epoch to epoch).
+
+    Edges: duck-typed inputs whose union grid is empty have no points to
+    compare and count as identical, and a zero normalizer (two all-zero
+    curves — no misses anywhere) is also distance 0 rather than a
+    division blow-up.
+    """
     if a is b:
         return 0.0
     sizes = np.union1d(a.sizes, b.sizes)
+    if sizes.size == 0:
+        return 0.0
     va = np.asarray(a(sizes), dtype=np.float64)
     vb = np.asarray(b(sizes), dtype=np.float64)
-    scale = max(float(np.max(va)), float(np.max(vb)), 1e-12)
-    return float(np.max(np.abs(va - vb))) / scale
+    peak = max(float(np.max(va)), float(np.max(vb)))
+    if peak <= 0.0:
+        return 0.0
+    return float(np.max(np.abs(va - vb))) / max(peak, 1e-12)
 
 
 def _vc_accessors(problem: PlacementProblem) -> dict[int, dict[int, float]]:
@@ -156,7 +167,14 @@ def _vc_accessors(problem: PlacementProblem) -> dict[int, dict[int, float]]:
 
 
 def _rate_distance(a: dict[int, float], b: dict[int, float]) -> float:
-    """Relative change between two accessor-rate maps (union of threads)."""
+    """Relative change between two accessor-rate maps (union of threads).
+
+    Two empty maps (a VC nobody accesses, before and after) are
+    identical; a thread present on only one side counts as a full
+    relative move of that thread's rate.
+    """
+    if not a and not b:
+        return 0.0
     worst = 0.0
     # Pure max-reduction: the result is identical under any visit order,
     # so the unordered union cannot leak into placement decisions.
@@ -184,12 +202,27 @@ class IncrementalSolve:
     pipeline — the pinned degenerate-equivalence case.  Cold starts
     (no previous solution), topology/thread-set changes, and policies
     without latency-aware allocation also fall back to the full pipeline.
+
+    With ``use_sketches=True`` dirty detection runs on bounded-memory
+    curve sketches (:mod:`repro.cache.sketch`) instead of exact curves:
+    O(sketch points) per VC in one vectorized pass, with exact curves
+    materialized only for the VCs the sketches flag.  Sketch deltas
+    upper-bound :func:`curve_distance`, so the sketch-driven dirty set is
+    always a superset of the exact one — the warm start never misses a
+    moved VC, it only occasionally re-solves a clean one.
     """
 
     name = "incremental"
 
-    def __init__(self, dirty_threshold: float = 0.05):
+    def __init__(
+        self,
+        dirty_threshold: float = 0.05,
+        use_sketches: bool = False,
+        sketch_bytes: int = DEFAULT_SKETCH_BYTES,
+    ):
         self.dirty_threshold = dirty_threshold
+        self.use_sketches = use_sketches
+        self.sketch_bytes = sketch_bytes
 
     # -- dirty detection ----------------------------------------------------
 
@@ -218,6 +251,44 @@ class IncrementalSolve:
                 dirty.add(vc.vc_id)
         return dirty
 
+    def dirty_vcs_from_sketches(
+        self, prev: PlacementProblem, problem: PlacementProblem
+    ) -> set[int]:
+        """Sketch-driven dirty detection: O(sketch) per VC, superset of
+        :meth:`dirty_vcs` at the same threshold.
+
+        Curve movement is judged from the per-problem sketch banks (one
+        vectorized pass over all VCs; stationary problems reuse bank rows
+        so their deltas are exactly zero).  Accessor-rate movement uses
+        the same exact :func:`_rate_distance` as the exact path — rates
+        are scalars, there is nothing to sketch.  ``dirty_threshold <= 0``
+        degenerates bitwise to the full set, like the exact path.
+        """
+        if self.dirty_threshold <= 0:
+            return {vc.vc_id for vc in problem.vcs}
+        try:
+            deltas = problem_sketch_bank(problem, self.sketch_bytes).deltas_to(
+                problem_sketch_bank(prev, self.sketch_bytes)
+            )
+        except ValueError:
+            # Grid mismatch (the chip's LLC size changed): every delta is
+            # unbounded, so everything is conservatively dirty.
+            return {vc.vc_id for vc in problem.vcs}
+        prev_rates = _vc_accessors(prev)
+        cur_rates = _vc_accessors(problem)
+        dirty: set[int] = set()
+        for vc in problem.vcs:
+            delta = deltas.get(vc.vc_id)
+            if delta is None or delta > self.dirty_threshold:
+                dirty.add(vc.vc_id)
+                continue
+            moved = _rate_distance(
+                prev_rates.get(vc.vc_id, {}), cur_rates.get(vc.vc_id, {})
+            )
+            if moved > self.dirty_threshold:
+                dirty.add(vc.vc_id)
+        return dirty
+
     def _can_warm_start(self, problem, policy, state) -> bool:
         if state.problem is None or state.solution is None:
             return False
@@ -241,7 +312,10 @@ class IncrementalSolve:
             return _full_solve(
                 problem, policy, external_thread_cores, self.name
             )
-        dirty = self.dirty_vcs(state.problem, problem)
+        if self.use_sketches:
+            dirty = self.dirty_vcs_from_sketches(state.problem, problem)
+        else:
+            dirty = self.dirty_vcs(state.problem, problem)
         all_ids = {vc.vc_id for vc in problem.vcs}
         if dirty == all_ids:
             return _full_solve(

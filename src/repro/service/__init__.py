@@ -44,6 +44,7 @@ from repro.service.load import (
 )
 from repro.service.messages import (
     BudgetExceededError,
+    DeltaTelemetry,
     MalformedTelemetryError,
     PlacementReply,
     PlacementRequest,
@@ -52,6 +53,11 @@ from repro.service.messages import (
     ServiceError,
     SolveFailedError,
     SolveTimeoutError,
+    StaleTelemetryError,
+    build_delta,
+    problem_digest,
+    telemetry_bytes,
+    validate_delta_telemetry,
     validate_telemetry,
 )
 from repro.service.server import CoSchedService, ServiceStats
@@ -61,6 +67,7 @@ __all__ = [
     "BudgetExceededError",
     "ChipSlot",
     "CoSchedService",
+    "DeltaTelemetry",
     "EnginePool",
     "FaultPlan",
     "InProcessTransport",
@@ -77,8 +84,13 @@ __all__ = [
     "SlowStrategy",
     "SolveFailedError",
     "SolveTimeoutError",
+    "StaleTelemetryError",
     "TokenBucket",
+    "build_delta",
     "drive_chip",
+    "problem_digest",
     "run_load",
+    "telemetry_bytes",
+    "validate_delta_telemetry",
     "validate_telemetry",
 ]

@@ -5,13 +5,27 @@ in-process transport passes them by reference, and every failure mode a
 client can hit is a distinct :class:`ServiceError` subclass with a
 stable ``code`` string — tests and callers dispatch on the type (or the
 code), never on message text.
+
+Two telemetry shapes exist.  :class:`PlacementRequest` is the full form:
+the chip's whole :class:`~repro.sched.problem.PlacementProblem` every
+epoch.  :class:`DeltaTelemetry` is the streaming form: against the
+digest of the chip's *last-good* problem it carries only the sketches of
+VCs whose curves moved (:mod:`repro.cache.sketch`), full replacement
+curves/rates for the VCs the client flagged dirty, and nothing at all
+for a stationary epoch — :func:`telemetry_bytes` makes the size win
+measurable.  The server answers a delta it cannot anchor (first contact,
+digest mismatch, VC-set drift) with :class:`StaleTelemetryError`, and
+the client falls back to full telemetry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache.miss_curve import MissCurve
+from repro.cache.sketch import DEFAULT_SKETCH_BYTES, MissCurveSketch, problem_sketch_bank
 from repro.sched.problem import PlacementProblem, PlacementSolution
+from repro.util.hashing import content_digest
 
 
 class ServiceError(Exception):
@@ -62,6 +76,14 @@ class ServiceClosedError(ServiceError):
     code = "service_closed"
 
 
+class StaleTelemetryError(ServiceError):
+    """A :class:`DeltaTelemetry` could not be anchored to the chip's
+    last-good problem (first contact, evicted engine, digest mismatch, or
+    VC-set drift); the client must resend full telemetry."""
+
+    code = "stale_telemetry"
+
+
 @dataclass
 class PlacementRequest:
     """One epoch's telemetry from a chip: "here is what my monitors see,
@@ -77,6 +99,39 @@ class PlacementRequest:
 
     chip_id: str
     problem: PlacementProblem
+    epoch: int = 0
+    timeout_s: float | None = None
+
+
+@dataclass
+class DeltaTelemetry:
+    """One epoch's telemetry as a delta against the chip's last-good
+    problem.
+
+    *base_digest* names the exact problem the delta patches
+    (:func:`problem_digest` of the problem the service acknowledged
+    last).  *sketches* carries a bounded-memory sketch per VC whose curve
+    moved since then — the dirty hints; VCs absent from it are declared
+    unchanged.  *dirty_curves* carries the full replacement curve for
+    every sketched VC (the sketch says *that* it moved, the curve says
+    *to what*), and *dirty_rates* the full replacement accessor map
+    (``vc_id -> {thread_id -> rate}``) for VCs whose rates moved.  A
+    stationary epoch is just the digest — a few dozen bytes.
+
+    *dirty_clusters* carries replacement ``cluster_key`` strings for
+    threads whose grouping identity changed — phased mixes rename a
+    thread's benchmark when a process flips phase, and the clustered
+    external scheduler reads that key, so the patched problem must
+    carry it to stay content-identical to the chip's real problem.
+    """
+
+    chip_id: str
+    base_digest: str
+    sketches: dict[int, MissCurveSketch] = field(default_factory=dict)
+    dirty_curves: dict[int, MissCurve] = field(default_factory=dict)
+    dirty_rates: dict[int, dict[int, float]] = field(default_factory=dict)
+    #: thread_id -> new cluster_key, only for threads whose key changed.
+    dirty_clusters: dict[int, str] = field(default_factory=dict)
     epoch: int = 0
     timeout_s: float | None = None
 
@@ -157,3 +212,195 @@ def validate_telemetry(request: object) -> PlacementRequest:
             f"got {request.timeout_s!r}"
         )
     return request
+
+
+def validate_delta_telemetry(request: object) -> DeltaTelemetry:
+    """Admission-time validation of a :class:`DeltaTelemetry`.
+
+    Shape checks only — whether the digest anchors to a live engine is
+    decided later, under that chip's slot lock (the base can change
+    between admission and solve)."""
+    if not isinstance(request, DeltaTelemetry):
+        raise MalformedTelemetryError(
+            f"expected DeltaTelemetry, got {type(request).__name__}"
+        )
+    if not isinstance(request.chip_id, str) or not request.chip_id:
+        raise MalformedTelemetryError(
+            f"chip_id must be a non-empty string, got {request.chip_id!r}"
+        )
+    if not isinstance(request.base_digest, str) or not request.base_digest:
+        raise MalformedTelemetryError(
+            f"chip {request.chip_id}: base_digest must be a non-empty string"
+        )
+    for name, mapping, value_type in (
+        ("sketches", request.sketches, MissCurveSketch),
+        ("dirty_curves", request.dirty_curves, MissCurve),
+        ("dirty_rates", request.dirty_rates, dict),
+    ):
+        if not isinstance(mapping, dict):
+            raise MalformedTelemetryError(
+                f"chip {request.chip_id}: {name} must be a dict, "
+                f"got {type(mapping).__name__}"
+            )
+        for vc_id, value in mapping.items():
+            if not isinstance(vc_id, int):
+                raise MalformedTelemetryError(
+                    f"chip {request.chip_id}: {name} key {vc_id!r} is not "
+                    f"a vc id"
+                )
+            if not isinstance(value, value_type):
+                raise MalformedTelemetryError(
+                    f"chip {request.chip_id}: {name}[{vc_id}] must be "
+                    f"{value_type.__name__}, got {type(value).__name__}"
+                )
+    unsketched = set(request.dirty_curves) - set(request.sketches)
+    if unsketched:
+        raise MalformedTelemetryError(
+            f"chip {request.chip_id}: dirty_curves {sorted(unsketched)} "
+            f"carry no sketch (every dirty hint needs one)"
+        )
+    for vc_id, rates in request.dirty_rates.items():
+        for thread_id, rate in rates.items():
+            if not isinstance(thread_id, int) or not isinstance(
+                rate, (int, float)
+            ) or rate < 0:
+                raise MalformedTelemetryError(
+                    f"chip {request.chip_id}: dirty_rates[{vc_id}] entry "
+                    f"{thread_id!r}: {rate!r} is not a non-negative rate"
+                )
+    if not isinstance(request.dirty_clusters, dict):
+        raise MalformedTelemetryError(
+            f"chip {request.chip_id}: dirty_clusters must be a dict, "
+            f"got {type(request.dirty_clusters).__name__}"
+        )
+    for thread_id, key in request.dirty_clusters.items():
+        if not isinstance(thread_id, int) or not isinstance(key, str):
+            raise MalformedTelemetryError(
+                f"chip {request.chip_id}: dirty_clusters entry "
+                f"{thread_id!r}: {key!r} is not a thread-id -> str pair"
+            )
+    if request.timeout_s is not None and request.timeout_s <= 0:
+        raise MalformedTelemetryError(
+            f"chip {request.chip_id}: timeout_s must be positive, "
+            f"got {request.timeout_s!r}"
+        )
+    return request
+
+
+def problem_digest(problem: PlacementProblem) -> str:
+    """Content digest of one chip's problem, memoized on the object.
+
+    This is the anchor :class:`DeltaTelemetry` patches against: equal
+    digests mean byte-identical telemetry content (curves, rates,
+    threads, config), regardless of which process built the objects.
+    """
+    cached = getattr(problem, "_content_digest", None)
+    if cached is None:
+        cached = content_digest(problem)
+        problem._content_digest = cached
+    return cached
+
+
+def build_delta(
+    base: PlacementProblem,
+    problem: PlacementProblem,
+    chip_id: str,
+    epoch: int = 0,
+    sketch_bytes: int = DEFAULT_SKETCH_BYTES,
+    dirty_threshold: float = 0.0,
+    timeout_s: float | None = None,
+) -> DeltaTelemetry | None:
+    """Diff *problem* against *base* into a :class:`DeltaTelemetry`.
+
+    Returns ``None`` when the chip's structure drifted (VC list, thread
+    set, or LLC capacity changed) — those epochs need full telemetry.
+    Curve movement is judged from the problems' sketch banks (memoized
+    per problem object, so a stationary epoch diffs for free); every VC
+    whose sketch delta exceeds *dirty_threshold* ships its sketch plus
+    its exact replacement curve.  Threads whose ``cluster_key`` changed
+    (phase flips rename the benchmark) ship the new key.  The default
+    threshold 0 ships every changed curve, which keeps the server's
+    patched problem content-identical to *problem* — the next epoch's
+    digest then anchors without a fallback.
+    """
+    if [vc.vc_id for vc in base.vcs] != [vc.vc_id for vc in problem.vcs]:
+        return None
+    if [t.thread_id for t in base.threads] != [
+        t.thread_id for t in problem.threads
+    ]:
+        return None
+    if float(base.total_bytes) != float(problem.total_bytes):
+        return None
+    bank = problem_sketch_bank(problem, sketch_bytes)
+    deltas = bank.deltas_to(problem_sketch_bank(base, sketch_bytes))
+    base_by_id = {vc.vc_id: vc for vc in base.vcs}
+    sketches: dict[int, MissCurveSketch] = {}
+    dirty_curves: dict[int, MissCurve] = {}
+    dirty_rates: dict[int, dict[int, float]] = {}
+    for vc in problem.vcs:
+        if deltas[vc.vc_id] > dirty_threshold:
+            sketches[vc.vc_id] = bank.sketches[bank.index[vc.vc_id]]
+            dirty_curves[vc.vc_id] = vc.miss_curve
+        if vc.accesses != base_by_id[vc.vc_id].accesses:
+            dirty_rates[vc.vc_id] = dict(vc.accesses)
+    dirty_clusters: dict[int, str] = {
+        thread.thread_id: thread.cluster_key
+        for thread, old in zip(problem.threads, base.threads)
+        if thread.cluster_key != old.cluster_key
+    }
+    return DeltaTelemetry(
+        chip_id=chip_id,
+        base_digest=problem_digest(base),
+        sketches=sketches,
+        dirty_curves=dirty_curves,
+        dirty_rates=dirty_rates,
+        dirty_clusters=dirty_clusters,
+        epoch=epoch,
+        timeout_s=timeout_s,
+    )
+
+
+#: Structural wire-size model: 8B per float, 4B per id, fixed headers.
+#: The in-process transport passes references, so these are *accounting*
+#: bytes — what a serialized telemetry stream would carry — used by the
+#: sketch study and bench to compare full vs delta payloads.
+_FLOAT_BYTES = 8
+_ID_BYTES = 4
+_MESSAGE_HEADER_BYTES = 64
+_DIGEST_BYTES = 64
+
+
+def telemetry_bytes(request: PlacementRequest | DeltaTelemetry) -> int:
+    """Modeled wire size of one telemetry message.
+
+    Full telemetry pays two float64 per curve knot and one (id, float)
+    pair per thread-accessor entry for *every* VC; a delta pays the
+    digest, each shipped sketch's fixed budget, and the exact payloads of
+    the dirty subset only.
+    """
+    if isinstance(request, PlacementRequest):
+        problem = request.problem
+        total = _MESSAGE_HEADER_BYTES
+        for vc in problem.vcs:
+            total += 3 * _ID_BYTES  # vc id, kind, process id
+            total += 2 * _FLOAT_BYTES * len(vc.miss_curve.sizes)
+            total += (_ID_BYTES + _FLOAT_BYTES) * len(vc.accesses)
+        for thread in problem.threads:
+            total += 2 * _ID_BYTES  # thread id, process id
+            total += (_ID_BYTES + _FLOAT_BYTES) * len(thread.vc_accesses)
+        return total
+    if isinstance(request, DeltaTelemetry):
+        total = _MESSAGE_HEADER_BYTES + _DIGEST_BYTES
+        for sketch in request.sketches.values():
+            total += _ID_BYTES + sketch.nbytes
+        for curve in request.dirty_curves.values():
+            total += _ID_BYTES + 2 * _FLOAT_BYTES * len(curve.sizes)
+        for rates in request.dirty_rates.values():
+            total += _ID_BYTES + (_ID_BYTES + _FLOAT_BYTES) * len(rates)
+        for key in request.dirty_clusters.values():
+            total += _ID_BYTES + len(key.encode())
+        return total
+    raise TypeError(
+        f"telemetry_bytes: expected PlacementRequest or DeltaTelemetry, "
+        f"got {type(request).__name__}"
+    )

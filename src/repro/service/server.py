@@ -30,7 +30,7 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.sched.engine import SolveStrategy
@@ -41,6 +41,7 @@ from repro.util.guards import assert_lock_held
 from repro.service.engines import ChipSlot, EnginePool
 from repro.service.messages import (
     BudgetExceededError,
+    DeltaTelemetry,
     MalformedTelemetryError,
     PlacementReply,
     PlacementRequest,
@@ -49,8 +50,12 @@ from repro.service.messages import (
     ServiceError,
     SolveFailedError,
     SolveTimeoutError,
+    StaleTelemetryError,
+    problem_digest,
+    validate_delta_telemetry,
     validate_telemetry,
 )
+from repro.vcache.virtual_cache import VirtualCache
 
 
 @dataclass
@@ -62,6 +67,8 @@ class ServiceStats:
     degraded: int = 0
     timeouts: int = 0
     solve_errors: int = 0
+    #: Delta-telemetry requests that could not anchor (client falls back).
+    stale_deltas: int = 0
     #: error code -> count of synchronous admission rejections.
     rejected: dict[str, int] = field(default_factory=dict)
     #: submit-to-reply wall latency of every completed request (seconds).
@@ -91,6 +98,7 @@ class ServiceStats:
             "degraded": self.degraded,
             "timeouts": self.timeouts,
             "solve_errors": self.solve_errors,
+            "stale_deltas": self.stale_deltas,
             "rejected": dict(self.rejected),
             "p50_latency_s": self.latency_percentile(0.50),
             "p99_latency_s": self.latency_percentile(0.99),
@@ -98,7 +106,7 @@ class ServiceStats:
 
 
 #: One queued unit of work: (request, reply future, submit timestamp).
-_Pending = tuple[PlacementRequest, asyncio.Future, float]
+_Pending = tuple["PlacementRequest | DeltaTelemetry", asyncio.Future, float]
 
 
 class CoSchedService:
@@ -222,17 +230,26 @@ class CoSchedService:
             self._buckets[chip_id] = bucket
         return bucket
 
-    def submit(self, request: PlacementRequest) -> asyncio.Future:
+    def submit(
+        self, request: PlacementRequest | DeltaTelemetry
+    ) -> asyncio.Future:
         """Admit *request*; returns the future resolving to its reply.
 
-        Raises synchronously (and queues nothing) on admission failure:
-        :class:`ServiceClosedError`, :class:`MalformedTelemetryError`,
-        :class:`BudgetExceededError`, or :class:`QueueFullError`.
+        Accepts full telemetry (:class:`PlacementRequest`) or a delta
+        (:class:`DeltaTelemetry`).  Raises synchronously (and queues
+        nothing) on admission failure: :class:`ServiceClosedError`,
+        :class:`MalformedTelemetryError`, :class:`BudgetExceededError`,
+        or :class:`QueueFullError`.  A delta that passes admission can
+        still fail later with :class:`StaleTelemetryError` (resolved
+        under the chip's lock, against the live engine state).
         """
         if not self._running:
             raise ServiceClosedError("service is not running")
         try:
-            validate_telemetry(request)
+            if isinstance(request, DeltaTelemetry):
+                validate_delta_telemetry(request)
+            else:
+                validate_telemetry(request)
         except MalformedTelemetryError:
             self.stats.reject(MalformedTelemetryError.code)
             raise
@@ -287,6 +304,118 @@ class CoSchedService:
         result = slot.engine.solve(problem)
         return result, time.perf_counter() - t0
 
+    @staticmethod
+    def _resolve_delta(
+        slot: ChipSlot, delta: DeltaTelemetry
+    ) -> PlacementProblem:
+        """Patch the chip's last-good problem with *delta* (slot lock held).
+
+        Raises :class:`StaleTelemetryError` when the delta cannot anchor:
+        the engine has no last-good problem (first contact or evicted
+        slot), the digest does not match it (the client and service
+        disagree about the base), or the delta names VCs the base does
+        not have.  Anchored deltas rebuild only the dirty VCs and the
+        threads whose rates or cluster keys moved; everything else keeps
+        the base's objects, so the engine's sketch memos see clean VCs
+        as identical.
+        """
+        assert_lock_held(slot.lock, f"chip {slot.chip_id} engine")
+        base = slot.engine.state.problem
+        if base is None:
+            raise StaleTelemetryError(
+                f"chip {delta.chip_id}: no last-good problem to patch "
+                f"(first contact); send full telemetry"
+            )
+        if problem_digest(base) != delta.base_digest:
+            raise StaleTelemetryError(
+                f"chip {delta.chip_id}: base digest mismatch; "
+                f"send full telemetry"
+            )
+        base_ids = {vc.vc_id for vc in base.vcs}
+        unknown = (set(delta.sketches) | set(delta.dirty_rates)) - base_ids
+        if unknown:
+            raise StaleTelemetryError(
+                f"chip {delta.chip_id}: delta names unknown VCs "
+                f"{sorted(unknown)}; send full telemetry"
+            )
+        base_thread_ids = {t.thread_id for t in base.threads}
+        unknown_threads = set(delta.dirty_clusters) - base_thread_ids
+        if unknown_threads:
+            raise StaleTelemetryError(
+                f"chip {delta.chip_id}: delta names unknown threads "
+                f"{sorted(unknown_threads)}; send full telemetry"
+            )
+        if (
+            not delta.dirty_curves
+            and not delta.dirty_rates
+            and not delta.dirty_clusters
+        ):
+            # Stationary epoch: re-solve the very same problem object
+            # (its memoized sketch bank rides along, so a sketch-driven
+            # engine sees every VC clean without recomputing anything).
+            return base
+        vcs = []
+        for vc in base.vcs:
+            curve = delta.dirty_curves.get(vc.vc_id)
+            rates = delta.dirty_rates.get(vc.vc_id)
+            if curve is None and rates is None:
+                vcs.append(vc)
+                continue
+            vcs.append(VirtualCache(
+                vc_id=vc.vc_id,
+                kind=vc.kind,
+                process_id=vc.process_id,
+                miss_curve=curve if curve is not None else vc.miss_curve,
+                accesses=dict(rates) if rates is not None else dict(vc.accesses),
+                allocation=dict(vc.allocation),
+                owner_thread=vc.owner_thread,
+            ))
+        threads = base.threads
+        if delta.dirty_rates or delta.dirty_clusters:
+            threads = []
+            for thread in base.threads:
+                # Preserve the base key order (placement reductions
+                # iterate these dicts); rate updates replace in place,
+                # zero/absent rates drop, newly-accessed VCs append.
+                accesses = {}
+                for vc_id, rate in thread.vc_accesses.items():
+                    if vc_id in delta.dirty_rates:
+                        rate = delta.dirty_rates[vc_id].get(
+                            thread.thread_id, 0.0
+                        )
+                        if rate <= 0:
+                            continue
+                    accesses[vc_id] = rate
+                for vc_id in sorted(delta.dirty_rates):
+                    if vc_id in thread.vc_accesses:
+                        continue
+                    rate = delta.dirty_rates[vc_id].get(thread.thread_id, 0.0)
+                    if rate > 0:
+                        accesses[vc_id] = rate
+                cluster_key = delta.dirty_clusters.get(
+                    thread.thread_id, thread.cluster_key
+                )
+                if (
+                    accesses == thread.vc_accesses
+                    and cluster_key == thread.cluster_key
+                ):
+                    threads.append(thread)
+                else:
+                    threads.append(
+                        replace(
+                            thread,
+                            vc_accesses=accesses,
+                            cluster_key=cluster_key,
+                        )
+                    )
+        return PlacementProblem(
+            config=base.config,
+            topology=base.topology,
+            vcs=vcs,
+            threads=list(threads),
+            mem_latency=base.mem_latency,
+        )
+
     async def _handle(self, pending: _Pending) -> None:
         request, future, t_submit = pending
         slot = self.pool.slot(request.chip_id)
@@ -294,8 +423,18 @@ class CoSchedService:
         await slot.lock.acquire()
         lock_deferred = False
         try:
+            if isinstance(request, DeltaTelemetry):
+                try:
+                    problem = self._resolve_delta(slot, request)
+                except StaleTelemetryError as exc:
+                    self.stats.stale_deltas += 1
+                    if not future.done():
+                        future.set_exception(exc)
+                    return
+            else:
+                problem = request.problem
             inner = loop.run_in_executor(
-                self._executor, self._solve_sync, slot, request.problem
+                self._executor, self._solve_sync, slot, problem
             )
             self._inflight.add(inner)
             inner.add_done_callback(self._inflight.discard)
@@ -342,7 +481,7 @@ class CoSchedService:
     def _finish_ok(
         self,
         slot: ChipSlot,
-        request: PlacementRequest,
+        request: PlacementRequest | DeltaTelemetry,
         future: asyncio.Future,
         t_submit: float,
         result: ReconfigResult,
@@ -366,7 +505,7 @@ class CoSchedService:
     def _finish_degraded(
         self,
         slot: ChipSlot,
-        request: PlacementRequest,
+        request: PlacementRequest | DeltaTelemetry,
         future: asyncio.Future,
         t_submit: float,
         error: ServiceError,

@@ -15,16 +15,27 @@ queue-full rejections (the one admission error that is about *service*
 pressure, not about this tenant misbehaving), and offers
 :func:`ServiceClient.drive` — the telemetry loop a simulated chip runs,
 shaped exactly like ``EpochEngine.run_reconfigured``.
+
+:meth:`ServiceClient.place_delta` is the streaming variant: it diffs
+each epoch's problem against the last one the service acknowledged and
+ships a :class:`~repro.service.messages.DeltaTelemetry` (sketches +
+dirty payloads only), transparently falling back to full telemetry on
+first contact, structural drift, or a
+:class:`~repro.service.messages.StaleTelemetryError` from the service.
 """
 
 from __future__ import annotations
 
 import asyncio
 
+from repro.cache.sketch import DEFAULT_SKETCH_BYTES
 from repro.service.messages import (
+    DeltaTelemetry,
     PlacementReply,
     PlacementRequest,
     QueueFullError,
+    StaleTelemetryError,
+    build_delta,
 )
 from repro.service.server import CoSchedService
 
@@ -35,7 +46,9 @@ class InProcessTransport:
     def __init__(self, service: CoSchedService):
         self.service = service
 
-    async def request(self, request: PlacementRequest) -> PlacementReply:
+    async def request(
+        self, request: PlacementRequest | DeltaTelemetry
+    ) -> PlacementReply:
         return await self.service.submit(request)
 
 
@@ -46,6 +59,8 @@ class ServiceClient:
     :class:`~repro.service.messages.QueueFullError`: the client backs
     off and resubmits, so transient pressure does not kill a well-behaved
     tenant.  Every other typed error propagates immediately.
+    *sketch_bytes* sets the per-VC telemetry budget of
+    :meth:`place_delta`.
     """
 
     def __init__(
@@ -54,6 +69,7 @@ class ServiceClient:
         chip_id: str,
         retries: int = 0,
         retry_delay_s: float = 0.005,
+        sketch_bytes: int = DEFAULT_SKETCH_BYTES,
     ):
         if isinstance(transport, CoSchedService):
             transport = InProcessTransport(transport)
@@ -61,35 +77,91 @@ class ServiceClient:
         self.chip_id = chip_id
         self.retries = retries
         self.retry_delay_s = retry_delay_s
+        self.sketch_bytes = sketch_bytes
         self.epoch = 0
         self.replies: list[PlacementReply] = []
+        #: The last problem the service acknowledged with a fresh solve —
+        #: the base the next delta patches.  None until first contact
+        #: (and cleared again whenever the service reports staleness).
+        self._base_problem = None
+        #: Telemetry-path counters: how many epochs went out as deltas,
+        #: as full problems, and how many deltas bounced stale.
+        self.telemetry_stats = {"delta": 0, "full": 0, "stale": 0}
 
-    async def place(
-        self, problem, timeout_s: float | None = None
+    async def _request_with_retry(
+        self, request: PlacementRequest | DeltaTelemetry
     ) -> PlacementReply:
-        """Send one epoch's telemetry; returns (and records) the reply."""
-        request = PlacementRequest(
-            chip_id=self.chip_id,
-            problem=problem,
-            epoch=self.epoch,
-            timeout_s=timeout_s,
-        )
         attempt = 0
         while True:
             try:
-                reply = await self.transport.request(request)
-                break
+                return await self.transport.request(request)
             except QueueFullError:
                 if attempt >= self.retries:
                     raise
                 attempt += 1
                 await asyncio.sleep(self.retry_delay_s)
+
+    def _record(self, reply: PlacementReply, problem) -> PlacementReply:
         self.epoch += 1
         self.replies.append(reply)
+        if reply.ok:
+            self._base_problem = problem
         return reply
 
+    async def place(
+        self, problem, timeout_s: float | None = None
+    ) -> PlacementReply:
+        """Send one epoch's full telemetry; returns (and records) the reply."""
+        reply = await self._request_with_retry(PlacementRequest(
+            chip_id=self.chip_id,
+            problem=problem,
+            epoch=self.epoch,
+            timeout_s=timeout_s,
+        ))
+        self.telemetry_stats["full"] += 1
+        return self._record(reply, problem)
+
+    async def place_delta(
+        self, problem, timeout_s: float | None = None
+    ) -> PlacementReply:
+        """Send one epoch's telemetry as a delta when possible.
+
+        Diffs *problem* against the last acknowledged problem and ships
+        only the changed sketches + dirty payloads.  Falls back to
+        :meth:`place` (full telemetry) on first contact, when the chip's
+        structure drifted, or when the service answers
+        :class:`~repro.service.messages.StaleTelemetryError` — so the
+        caller always gets a normal reply either way.
+        """
+        delta = None
+        if self._base_problem is not None:
+            delta = build_delta(
+                self._base_problem,
+                problem,
+                self.chip_id,
+                epoch=self.epoch,
+                sketch_bytes=self.sketch_bytes,
+                timeout_s=timeout_s,
+            )
+        if delta is None:
+            return await self.place(problem, timeout_s)
+        try:
+            reply = await self._request_with_retry(delta)
+        except StaleTelemetryError:
+            # The service lost (or never had) our base: resynchronize
+            # with one full problem, then stream deltas again.
+            self.telemetry_stats["stale"] += 1
+            self._base_problem = None
+            return await self.place(problem, timeout_s)
+        self.telemetry_stats["delta"] += 1
+        return self._record(reply, problem)
+
     async def drive(
-        self, sim, epoch_cycles: float, n_epochs: int
+        self,
+        sim,
+        epoch_cycles: float,
+        n_epochs: int,
+        use_deltas: bool = False,
     ) -> list[PlacementReply]:
         """Run *sim* (an :class:`~repro.sim.engine.EpochEngine`) for
         *n_epochs*, reconfiguring through the service at every boundary.
@@ -98,11 +170,14 @@ class ServiceClient:
         the far side of the control plane: snapshot the active problem,
         request a placement, run the epoch under whatever came back
         (fresh or degraded).  The bitwise-equivalence pin compares the
-        replies of this loop against the local engine's results.
+        replies of this loop against the local engine's results.  With
+        ``use_deltas=True`` the telemetry goes through
+        :meth:`place_delta` — full on first contact, streamed after.
         """
         replies = []
+        send = self.place_delta if use_deltas else self.place
         for _ in range(n_epochs):
-            reply = await self.place(sim.current_problem())
+            reply = await send(sim.current_problem())
             # Client-side harness step, inline on purpose: the
             # equivalence pin needs the epoch advance ordered with the
             # replies, and the client loop is not the service loop.

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.monitor import UMon
+from repro.cache.sketch import DEFAULT_SKETCH_BYTES, SketchBank, problem_sketch_bank
 from repro.config import SystemConfig
 from repro.geometry.mesh import Topology
 from repro.model.system import AnalyticSystem, MixEvaluation
@@ -396,6 +397,19 @@ class EpochEngine:
         reconfiguration at this epoch boundary solves (its curves are what
         hardware monitors would report for the coming interval)."""
         return self._snapshot()[1]
+
+    def current_sketch_bank(
+        self, budget_bytes: int = DEFAULT_SKETCH_BYTES
+    ) -> SketchBank:
+        """The sketch bank of the active problem — the epoch's streamed
+        telemetry view.
+
+        Memoized on the snapshot's problem object (via
+        :func:`repro.cache.sketch.problem_sketch_bank`), and snapshots
+        are cached per phase key, so stationary epochs return the very
+        same bank without rebuilding anything; only a phase flip sketches
+        the (new) curves of its new snapshot."""
+        return problem_sketch_bank(self.current_problem(), budget_bytes)
 
     # -- epochs --------------------------------------------------------------
 

@@ -308,3 +308,66 @@ def test_cdcs_scheme_strategy_selection():
     default = Cdcs().run(problem)
     reference = reconfigure(problem)
     assert default.solution.vc_allocation == reference.solution.vc_allocation
+
+
+# -- dirty-detection distance edges -----------------------------------------
+
+
+class _StubCurve:
+    """Duck-typed curve with an empty knot grid (no points to compare)."""
+
+    sizes = ()  # np.union1d of two empty grids is an empty grid
+
+    def __call__(self, xs):
+        return [0.0 for _ in xs]
+
+
+def test_curve_distance_identity_is_free():
+    from repro.cache.miss_curve import exponential_curve
+    from repro.sched.engine import curve_distance
+    from repro.util.units import mb
+
+    curve = exponential_curve(mb(32), 40.0, 2.0, mb(2))
+    assert curve_distance(curve, curve) == 0.0
+
+
+def test_curve_distance_empty_union_grid_is_zero():
+    from repro.sched.engine import curve_distance
+
+    assert curve_distance(_StubCurve(), _StubCurve()) == 0.0
+
+
+def test_curve_distance_zero_peak_is_zero_not_nan():
+    from repro.cache.miss_curve import flat_curve
+    from repro.sched.engine import curve_distance
+    from repro.util.units import mb
+
+    a, b = flat_curve(mb(32), 0.0), flat_curve(mb(32), 0.0)
+    assert a is not b
+    assert curve_distance(a, b) == 0.0
+
+
+def test_curve_distance_relative_to_larger_peak():
+    from repro.cache.miss_curve import flat_curve
+    from repro.sched.engine import curve_distance
+    from repro.util.units import mb
+
+    assert curve_distance(
+        flat_curve(mb(32), 10.0), flat_curve(mb(32), 5.0)
+    ) == pytest.approx(0.5)
+
+
+def test_rate_distance_edges():
+    from repro.sched.engine import _rate_distance
+
+    assert _rate_distance({}, {}) == 0.0
+    assert _rate_distance({0: 10.0}, {0: 10.0}) == 0.0
+    # A thread present on one side only is a full relative move.
+    assert _rate_distance({0: 10.0}, {}) == pytest.approx(1.0)
+    assert _rate_distance({}, {0: 10.0}) == pytest.approx(1.0)
+    # Otherwise the worst per-thread relative change wins.
+    assert _rate_distance(
+        {0: 10.0, 1: 4.0}, {0: 15.0, 1: 4.0}
+    ) == pytest.approx(5.0 / 15.0)
+    # Zero-vs-zero rates do not divide by zero.
+    assert _rate_distance({0: 0.0}, {0: 0.0}) == 0.0

@@ -1,0 +1,276 @@
+"""Bounded-memory miss-curve sketches (repro.cache.sketch).
+
+The unit contracts: grid caching/immutability, the fixed byte budget,
+round-trip fidelity, the delta upper bound against
+:func:`repro.sched.engine.curve_distance`, merge/decay/blend algebra,
+the monitor's ``snapshot_sketch`` emission, the stacked
+:class:`SketchBank` fast paths, and the per-problem bank memo.  The
+statistical superset/placement properties live in
+``tests/test_sketch_properties.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.miss_curve import cliff_curve, exponential_curve, flat_curve
+from repro.cache.monitor import GMon, UMon
+from repro.cache.sketch import (
+    DEFAULT_SKETCH_BYTES,
+    MIN_POINTS,
+    SKETCH_HEADER_BYTES,
+    MissCurveSketch,
+    SketchBank,
+    points_for_budget,
+    problem_sketch_bank,
+    sketch_grid,
+)
+from repro.sched.engine import curve_distance
+from repro.testing import small_problem
+from repro.util.units import kb, mb
+from repro.workloads.generator import StackDistanceStream
+
+LLC = float(mb(32))
+
+
+def _exp_curve(half=mb(2), base=40.0):
+    return exponential_curve(LLC, base, 2.0, half)
+
+
+def _cliff_curve():
+    return cliff_curve(LLC, 30.0, mb(8), 3.0)
+
+
+# -- grids and budgets -------------------------------------------------------
+
+
+def test_points_for_budget_default():
+    assert points_for_budget(DEFAULT_SKETCH_BYTES) == (
+        DEFAULT_SKETCH_BYTES - SKETCH_HEADER_BYTES
+    ) // 8
+
+
+def test_points_for_budget_too_small_raises():
+    with pytest.raises(ValueError):
+        points_for_budget(SKETCH_HEADER_BYTES + 8 * (MIN_POINTS - 1))
+
+
+def test_sketch_grid_shared_frozen_and_shaped():
+    grid = sketch_grid(LLC, 61)
+    assert grid is sketch_grid(LLC, 61)  # process-wide cache
+    assert not grid.flags.writeable
+    assert grid[0] == 0.0 and grid[-1] == LLC
+    assert np.all(np.diff(grid) > 0)
+    assert grid.shape == (61,)
+
+
+def test_sketch_grid_validation():
+    with pytest.raises(ValueError):
+        sketch_grid(0.0, 61)
+    with pytest.raises(ValueError):
+        sketch_grid(LLC, MIN_POINTS - 1)
+
+
+# -- construction, budget, round trip ----------------------------------------
+
+
+def test_from_curve_budget_and_frozen_arrays():
+    sketch = MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC)
+    assert sketch.nbytes == DEFAULT_SKETCH_BYTES
+    assert sketch.exact
+    assert not sketch.values.flags.writeable
+    assert not sketch.slack.flags.writeable
+    assert sketch.points == points_for_budget(DEFAULT_SKETCH_BYTES)
+    assert sketch.peak == pytest.approx(float(np.max(_exp_curve().values)))
+
+
+def test_roundtrip_close_to_source_curve():
+    curve = _exp_curve()
+    sketch = MissCurveSketch.from_curve(curve, grid_max=LLC)
+    assert curve_distance(curve, sketch.to_curve()) < 0.02
+
+
+def test_roundtrip_improves_with_budget():
+    curve = _cliff_curve()
+    coarse = MissCurveSketch.from_curve(curve, budget_bytes=128, grid_max=LLC)
+    fine = MissCurveSketch.from_curve(curve, budget_bytes=4096, grid_max=LLC)
+    d_coarse = curve_distance(curve, coarse.to_curve())
+    d_fine = curve_distance(curve, fine.to_curve())
+    # The cliff's step keeps a residual at any finite grid, but a finer
+    # grid localizes it: strictly better, and within the default dirty
+    # threshold's order of magnitude.
+    assert d_fine < d_coarse
+    assert d_fine < 0.1
+
+
+# -- the delta bound ---------------------------------------------------------
+
+
+def test_delta_upper_bounds_curve_distance():
+    a, b = _exp_curve(), _cliff_curve()
+    sa = MissCurveSketch.from_curve(a, grid_max=LLC)
+    sb = MissCurveSketch.from_curve(b, grid_max=LLC)
+    assert sa.delta(sb) >= curve_distance(a, b)
+    assert sa.delta(sb) == sb.delta(sa)
+
+
+def test_delta_identity_and_same_content():
+    sketch = MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC)
+    assert sketch.delta(sketch) == 0.0
+    # Distinct sketch objects of the same curve content: the bound
+    # cannot be exactly zero (slack is real) but stays tiny — well under
+    # any useful dirty threshold.
+    twin = MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC)
+    assert 0.0 <= sketch.delta(twin) < 0.02
+
+
+def test_delta_grid_mismatch_raises():
+    sketch = MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC)
+    other = MissCurveSketch.from_curve(_exp_curve(), grid_max=2 * LLC)
+    with pytest.raises(ValueError):
+        sketch.delta(other)
+
+
+# -- merge / decay / blend ---------------------------------------------------
+
+
+def test_merged_tracks_summed_curves():
+    a, b = _exp_curve(), _cliff_curve()
+    sa = MissCurveSketch.from_curve(a, grid_max=LLC)
+    merged = sa.merged(MissCurveSketch.from_curve(b, grid_max=LLC))
+    assert not merged.exact
+    assert merged.peak == pytest.approx(sa.peak + float(np.max(b.values)))
+    grid = merged.grid
+    want = np.asarray(a(grid)) + np.asarray(b(grid))
+    got = merged.values.astype(np.float64)
+    assert np.all(np.abs(want - got) <= merged.slack.astype(np.float64) + 1e-9)
+
+
+def test_decayed_scales_everything():
+    sketch = MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC)
+    half = sketch.decayed(0.5)
+    assert not half.exact
+    assert half.peak == pytest.approx(0.5 * sketch.peak)
+    np.testing.assert_allclose(
+        half.values, 0.5 * sketch.values, rtol=1e-6, atol=1e-6
+    )
+    with pytest.raises(ValueError):
+        sketch.decayed(1.5)
+
+
+def test_blended_is_ewma():
+    old = MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC)
+    new = MissCurveSketch.from_curve(_cliff_curve(), grid_max=LLC)
+    mix = old.blended(new, decay=0.75)
+    want = 0.75 * old.values.astype(np.float64) + 0.25 * new.values.astype(
+        np.float64
+    )
+    np.testing.assert_allclose(mix.values, want, rtol=1e-6, atol=1e-6)
+    with pytest.raises(ValueError):
+        old.blended(new, decay=1.0)
+    with pytest.raises(ValueError):
+        old.blended(
+            MissCurveSketch.from_curve(_cliff_curve(), grid_max=2 * LLC), 0.5
+        )
+
+
+# -- monitor emission --------------------------------------------------------
+
+
+def _driven_monitor(monitor, curve, accesses=6_000, apki=20.0, seed=3):
+    stream = StackDistanceStream(curve, apki=apki, seed=seed)
+    for _ in range(accesses):
+        monitor.access(stream.next_address())
+    return monitor
+
+
+def test_umon_snapshot_sketch_matches_miss_curve():
+    mon = _driven_monitor(UMon(mb(4), ways=32, seed=7), _exp_curve(mb(1)))
+    sketch = mon.snapshot_sketch()
+    assert sketch.exact
+    assert float(sketch.grid[-1]) == mon.modeled_capacity
+    assert curve_distance(mon.miss_curve(), sketch.to_curve()) < 0.05
+
+
+def test_snapshot_sketch_ewma_and_reset():
+    mon = _driven_monitor(GMon(kb(64), mb(4), ways=32, seed=7), _exp_curve(mb(1)))
+    first = mon.snapshot_sketch(decay=0.5)
+    assert first.exact  # nothing to blend with yet
+    second = mon.snapshot_sketch(decay=0.5)
+    assert not second.exact  # EWMA of first and the fresh snapshot
+    assert first.compatible(second)
+    mon.reset()
+    third = mon.snapshot_sketch(decay=0.5)
+    assert third.exact  # reset dropped the EWMA state
+
+
+def test_snapshot_sketch_shared_grid_override():
+    mon = _driven_monitor(UMon(mb(4), ways=32, seed=7), _exp_curve(mb(1)))
+    sketch = mon.snapshot_sketch(grid_max=LLC)
+    assert float(sketch.grid[-1]) == LLC
+
+
+# -- banks -------------------------------------------------------------------
+
+
+def test_bank_memoizes_per_curve_object():
+    curves = [(0, _exp_curve()), (1, _cliff_curve())]
+    bank_a = SketchBank.from_curves(curves, LLC, 61)
+    bank_b = SketchBank.from_curves(curves, LLC, 61)
+    for row in range(2):
+        assert bank_a.sketches[row] is bank_b.sketches[row]
+    assert bank_a.deltas_to(bank_b) == {0: 0.0, 1: 0.0}
+
+
+def test_bank_deltas_flag_moved_rows():
+    shared = _exp_curve()
+    bank_a = SketchBank.from_curves([(0, shared), (1, _cliff_curve())], LLC, 61)
+    bank_b = SketchBank.from_curves([(0, shared), (1, _exp_curve(mb(8)))], LLC, 61)
+    deltas = bank_b.deltas_to(bank_a)
+    assert deltas[0] == 0.0  # same curve object: identity fast path
+    assert deltas[1] > 0.05
+    # And the bound covers the exact distance for the moved row.
+    assert deltas[1] >= curve_distance(_cliff_curve(), _exp_curve(mb(8)))
+
+
+def test_bank_deltas_common_ids_only_and_grid_mismatch():
+    bank_a = SketchBank.from_curves([(0, _exp_curve()), (1, _cliff_curve())], LLC, 61)
+    bank_b = SketchBank.from_curves([(1, _cliff_curve()), (2, _exp_curve())], LLC, 61)
+    assert set(bank_b.deltas_to(bank_a)) == {1}
+    other_grid = SketchBank.from_curves([(1, _cliff_curve())], 2 * LLC, 61)
+    with pytest.raises(ValueError):
+        other_grid.deltas_to(bank_a)
+
+
+def test_bank_validation_and_nbytes():
+    with pytest.raises(ValueError):
+        SketchBank((0, 1), (MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC),))
+    sketches = (
+        MissCurveSketch.from_curve(_exp_curve(), grid_max=LLC),
+        MissCurveSketch.from_curve(_cliff_curve(), grid_max=2 * LLC),
+    )
+    with pytest.raises(ValueError):
+        SketchBank((0, 1), sketches)
+    bank = SketchBank((7,), (sketches[0],))
+    assert bank.nbytes == DEFAULT_SKETCH_BYTES
+    assert not bank.values2d.flags.writeable
+    assert not bank.slack2d.flags.writeable
+    assert not bank.peaks.flags.writeable
+
+
+def test_problem_sketch_bank_memoized_per_budget():
+    problem, _ = small_problem(apps=8)
+    bank = problem_sketch_bank(problem)
+    assert problem_sketch_bank(problem) is bank
+    assert set(bank.vc_ids) == {vc.vc_id for vc in problem.vcs}
+    assert float(bank.sketches[0].grid[-1]) == float(problem.total_bytes)
+    finer = problem_sketch_bank(problem, budget_bytes=4096)
+    assert finer is not bank
+    assert problem_sketch_bank(problem, budget_bytes=4096) is finer
+
+
+def test_flat_zero_curve_sketches_cleanly():
+    zero = flat_curve(LLC, 0.0)
+    sketch = MissCurveSketch.from_curve(zero, grid_max=LLC)
+    assert sketch.peak == 0.0
+    twin = MissCurveSketch.from_curve(flat_curve(LLC, 0.0), grid_max=LLC)
+    assert sketch.delta(twin) == 0.0  # 0/eps, not NaN

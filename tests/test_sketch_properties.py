@@ -1,0 +1,141 @@
+"""Property sweep for sketch-driven dirty detection and placement.
+
+Two statistical guarantees back the sketch telemetry path, checked here
+over seeded phased-mix schedules (≥50 warm epoch boundaries):
+
+* **Superset**: the sketch dirty set contains the exact dirty set at
+  every boundary and every budget — sketch deltas upper-bound
+  :func:`repro.sched.engine.curve_distance`, so the warm start can
+  over-solve but never miss a moved VC.
+* **Generous-budget equivalence**: at a 4096-byte budget the
+  sketch-driven engine's placements are bitwise-identical to the
+  exact-GMON engine's, epoch by epoch.
+
+Plus the degenerate pin: ``dirty_threshold <= 0`` makes the sketch path
+bitwise-equal to the full pipeline, like the exact path.
+"""
+
+import pytest
+
+from repro.nuca.base import build_problem
+from repro.sched.engine import IncrementalSolve, ReconfigEngine
+from repro.sim.engine import EpochEngine
+from repro.testing import assert_solutions_equal
+from repro.config import small_test_config
+from repro.workloads.mixes import random_phased_mix
+
+EPOCH_CYCLES = 200e6
+TIGHT_BUDGET = 256
+GENEROUS_BUDGET = 4096
+
+
+def _warm_boundaries(apps, seed, mix_id, epochs, threshold=0.05):
+    """Yield (prev, current) problem pairs along a driven phased mix."""
+    config = small_test_config(4, 4)
+    mix = random_phased_mix(apps, seed, mix_id)
+    sim = EpochEngine(mix, build_problem(mix, config))
+    engine = ReconfigEngine("incremental", dirty_threshold=threshold)
+    prev = None
+    for _ in range(epochs):
+        current = sim.current_problem()
+        if prev is not None:
+            yield prev, current
+        sim.run_epoch(engine.solve(current).solution, EPOCH_CYCLES)
+        prev = current
+
+
+SWEEP = [(16, seed, mix_id) for seed in (7, 11, 42) for mix_id in (0, 1)]
+
+
+def test_sketch_dirty_superset_of_exact_sweep():
+    cases = 0
+    for apps, seed, mix_id in SWEEP:
+        probes = [
+            IncrementalSolve(
+                dirty_threshold=0.05,
+                use_sketches=True,
+                sketch_bytes=budget,
+            )
+            for budget in (TIGHT_BUDGET, GENEROUS_BUDGET)
+        ]
+        for prev, current in _warm_boundaries(
+            apps, seed, mix_id, epochs=10
+        ):
+            exact = probes[0].dirty_vcs(prev, current)
+            for probe in probes:
+                sketch = probe.dirty_vcs_from_sketches(prev, current)
+                assert exact <= sketch, (
+                    f"sketch dirty set missed VCs "
+                    f"{sorted(exact - sketch)} at seed={seed} "
+                    f"mix={mix_id} budget={probe.sketch_bytes}"
+                )
+                cases += 1
+    assert cases >= 50  # the sweep actually exercised enough boundaries
+
+
+def test_generous_budget_placements_bitwise_match_exact():
+    config = small_test_config(4, 4)
+    matched = 0
+    for seed in (7, 42):
+        mix = random_phased_mix(16, seed, 0)
+        sim_exact = EpochEngine(mix, build_problem(mix, config))
+        sim_sketch = EpochEngine(
+            random_phased_mix(16, seed, 0),
+            build_problem(random_phased_mix(16, seed, 0), config),
+        )
+        exact = ReconfigEngine("incremental", dirty_threshold=0.05)
+        sketch = ReconfigEngine(
+            "incremental",
+            dirty_threshold=0.05,
+            use_sketches=True,
+            sketch_bytes=GENEROUS_BUDGET,
+        )
+        for _ in range(6):
+            sol_exact = exact.solve(sim_exact.current_problem()).solution
+            sol_sketch = sketch.solve(sim_sketch.current_problem()).solution
+            assert_solutions_equal(sol_sketch, sol_exact)
+            sim_exact.run_epoch(sol_exact, EPOCH_CYCLES)
+            sim_sketch.run_epoch(sol_sketch, EPOCH_CYCLES)
+            matched += 1
+    assert matched == 12
+
+
+def test_zero_threshold_degenerates_to_full_set():
+    probe = IncrementalSolve(dirty_threshold=0.0, use_sketches=True)
+    pairs = list(_warm_boundaries(16, 42, 0, epochs=3))
+    assert pairs
+    for prev, current in pairs:
+        all_ids = {vc.vc_id for vc in current.vcs}
+        assert probe.dirty_vcs_from_sketches(prev, current) == all_ids
+        assert probe.dirty_vcs(prev, current) == all_ids
+
+
+def test_zero_threshold_solution_matches_full_pipeline():
+    config = small_test_config(4, 4)
+    mix = random_phased_mix(16, 42, 0)
+    sim = EpochEngine(mix, build_problem(mix, config))
+    degenerate = ReconfigEngine(
+        "incremental", dirty_threshold=0.0, use_sketches=True
+    )
+    full = ReconfigEngine("full")
+    for _ in range(3):
+        problem = sim.current_problem()
+        sol = degenerate.solve(problem).solution
+        assert_solutions_equal(sol, full.solve(problem).solution)
+        sim.run_epoch(sol, EPOCH_CYCLES)
+
+
+def test_sketch_engine_ipc_close_to_exact_small_point():
+    # The study's acceptance bar (<1% IPC error) scaled down to a single
+    # cheap point so the suite pins it without running the experiment.
+    from repro.experiments.sketch_study import sketch_point
+
+    record = sketch_point(16, 512, seed=42, mix_id=0, epochs=4)
+    assert record["superset_ok"]
+    assert record["dirty_recall"] == 1.0
+    assert record["ipc_rel_err"] < 0.01
+    assert record["placement_match_frac"] == 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

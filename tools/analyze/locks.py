@@ -77,6 +77,11 @@ GUARDED_STATE: tuple[GuardedGlobal, ...] = (
         lock="_ATTACH_LOCK",
     ),
     GuardedGlobal(
+        module="repro/cache/sketch.py",
+        name="_GRID_CACHE",
+        lock="_GRID_LOCK",
+    ),
+    GuardedGlobal(
         module="repro/kernels.py",
         name="_VECTORIZED",
         lock="_KERNEL_STATE_LOCK",

@@ -13,7 +13,7 @@ Without ``--baseline``, the candidate file is compared against itself:
 the latest entry per bench name vs the previous entry of the same name
 (useful locally, where the committed entry is still in the file).
 
-Four metric classes gate, all at ``--max-regression`` (default 25%):
+Five metric classes gate, all at ``--max-regression`` (default 25%):
 
 * **wall-clock** — numeric leaves whose key path contains ``second``
   (e.g. ``solve_wall_seconds.full_phased``).  Wall time is machine
@@ -35,6 +35,11 @@ Four metric classes gate, all at ``--max-regression`` (default 25%):
   a candidate *below* ``baseline * (1 - max_regression)`` fails.  Like
   wall clock, throughput is machine relative and only gates on a
   matching ``host`` fingerprint.
+* **telemetry bytes** — leaves whose path contains ``bytes_per_epoch``
+  (the sketch-telemetry bench).  Message sizes are deterministic
+  functions of the workload, so these gate unconditionally, lower is
+  better: growth means the delta stream started shipping payloads it
+  previously elided.
 
 Metrics absent from either side are reported but never fail (benches
 grow metrics over time).
@@ -100,6 +105,15 @@ def mcycle_metrics(entry: dict) -> dict[str, float]:
     }
 
 
+def telemetry_metrics(entry: dict) -> dict[str, float]:
+    """Machine-independent message sizes: leaves mentioning bytes_per_epoch."""
+    return {
+        path: value
+        for path, value in numeric_leaves(entry).items()
+        if "bytes_per_epoch" in path.lower()
+    }
+
+
 def memory_metrics(entry: dict) -> dict[str, float]:
     """Machine-independent allocation sizes: leaves mentioning mib."""
     return {
@@ -162,6 +176,10 @@ def compare(
     problems += _gate(
         memory_metrics(candidate), memory_metrics(baseline),
         max_regression, " MiB",
+    )
+    problems += _gate(
+        telemetry_metrics(candidate), telemetry_metrics(baseline),
+        max_regression, " B/epoch",
     )
     base_host = baseline.get("host")
     cand_host = candidate.get("host")
